@@ -1,0 +1,14 @@
+"""GNN-based delay-fault localization for monolithic 3D ICs.
+
+Reproduction pipeline with a static-analysis layer baked in:
+
+- :mod:`m3d_fault_loc.graph` — gate-level netlists, static timing, graph schema.
+- :mod:`m3d_fault_loc.faults` — delay-fault injection.
+- :mod:`m3d_fault_loc.data` — synthetic netlist generation and the contract-gated
+  dataset loader.
+- :mod:`m3d_fault_loc.model` — numpy GraphSAGE-style fault localizer.
+- :mod:`m3d_fault_loc.analysis` — the ``m3dlint`` static-analysis subsystem
+  (netlist contract checker + Python AST lint pass).
+"""
+
+__version__ = "0.1.0"

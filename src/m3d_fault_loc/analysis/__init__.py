@@ -1,0 +1,25 @@
+"""``m3dlint`` static-analysis subsystem.
+
+Two sides:
+
+- **Contract checker** (:mod:`m3d_fault_loc.analysis.graph_rules`): declarative
+  rules validating circuit graphs against the schema contract before they
+  reach training or inference.
+- **Code lint** (:mod:`m3d_fault_loc.analysis.code_rules`): an AST pass over
+  the Python stack itself, targeting GNN-training footguns.
+
+Both report :class:`~m3d_fault_loc.analysis.violations.Violation` findings and
+are exposed through the ``m3dlint`` CLI (:mod:`m3d_fault_loc.analysis.cli`).
+"""
+
+from m3d_fault_loc.analysis.engine import GraphRule, RuleConfig, RuleEngine, default_engine
+from m3d_fault_loc.analysis.violations import Severity, Violation
+
+__all__ = [
+    "GraphRule",
+    "RuleConfig",
+    "RuleEngine",
+    "Severity",
+    "Violation",
+    "default_engine",
+]

@@ -1,0 +1,159 @@
+"""``m3dlint`` — static analysis CLI.
+
+Subcommands:
+
+- ``m3dlint check PATH [PATH...]`` — run the netlist contract checker over
+  serialized circuit graphs (``*.json`` files or directories of them).
+- ``m3dlint code PATH [PATH...]`` — run the AST lint pass over Python files
+  or source trees.
+- ``m3dlint rules`` — print the rule catalog.
+
+Exit codes: 0 clean (warnings allowed), 1 at least one ERROR finding,
+2 usage or input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from m3d_fault_loc.analysis.code_rules import BUILTIN_CODE_RULES, lint_paths
+from m3d_fault_loc.analysis.engine import RuleConfig, default_engine
+from m3d_fault_loc.analysis.violations import Severity, Violation, has_errors
+from m3d_fault_loc.graph.schema import CircuitGraph
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _collect_graph_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.json")))
+        elif p.exists():
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return files
+
+
+def _report(violations: list[Violation], fmt: str, n_targets: int, stream=None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    errors = sum(1 for v in violations if v.severity >= Severity.ERROR)
+    warnings = len(violations) - errors
+    if fmt == "json":
+        payload = {
+            "targets": n_targets,
+            "counts": {"error": errors, "warning": warnings},
+            "violations": [v.to_json_dict() for v in violations],
+        }
+        print(json.dumps(payload, indent=2), file=stream)
+    else:
+        for v in violations:
+            print(v.render(), file=stream)
+        print(
+            f"m3dlint: {n_targets} target(s) checked, {errors} error(s), {warnings} warning(s)",
+            file=stream,
+        )
+    return EXIT_FINDINGS if errors else EXIT_CLEAN
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    engine = default_engine(RuleConfig(max_fanout=args.max_fanout))
+    try:
+        files = _collect_graph_files([Path(p) for p in args.paths])
+    except FileNotFoundError as exc:
+        print(f"m3dlint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if not files:
+        print("m3dlint: no graph files found", file=sys.stderr)
+        return EXIT_USAGE
+    violations: list[Violation] = []
+    for f in files:
+        try:
+            graph = CircuitGraph.load(f)
+        except Exception as exc:  # corrupt payloads are findings, not crashes
+            violations.append(
+                Violation(
+                    rule_id="M3D100",
+                    severity=Severity.ERROR,
+                    message=f"unreadable graph payload: {type(exc).__name__}: {exc}",
+                    location=str(f),
+                )
+            )
+            continue
+        for v in engine.run(graph):
+            violations.append(
+                Violation(
+                    rule_id=v.rule_id,
+                    severity=v.severity,
+                    message=v.message,
+                    location=f"{f}: {v.location}" if v.location else str(f),
+                    context=v.context,
+                )
+            )
+    return _report(violations, args.format, len(files))
+
+
+def _cmd_code(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"m3dlint: no such file or directory: {missing[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    violations = lint_paths(paths)
+    n_files = sum(len(list(p.rglob("*.py"))) if p.is_dir() else 1 for p in paths)
+    return _report(violations, args.format, n_files)
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    engine = default_engine()
+    rows = [(r.id, str(r.severity), r.description) for r in engine.rules]
+    rows += [(cls.id, str(cls.severity), cls.description) for cls in BUILTIN_CODE_RULES]
+    if args.format == "json":
+        print(
+            json.dumps(
+                [{"id": i, "severity": s, "description": d} for i, s, d in rows], indent=2
+            )
+        )
+    else:
+        for rule_id, severity, description in rows:
+            print(f"{rule_id}  {severity:<7}  {description}")
+    return EXIT_CLEAN
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="m3dlint",
+        description="Static analysis for the M3D fault-localization stack.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="validate serialized circuit graphs")
+    check.add_argument("paths", nargs="+", help="graph JSON files or directories")
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument("--max-fanout", type=int, default=RuleConfig().max_fanout)
+    check.set_defaults(func=_cmd_check)
+
+    code = sub.add_parser("code", help="lint Python sources for GNN-stack footguns")
+    code.add_argument("paths", nargs="+", help="Python files or directories")
+    code.add_argument("--format", choices=("text", "json"), default="text")
+    code.set_defaults(func=_cmd_code)
+
+    rules = sub.add_parser("rules", help="print the rule catalog")
+    rules.add_argument("--format", choices=("text", "json"), default="text")
+    rules.set_defaults(func=_cmd_rules)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,281 @@
+"""AST lint pass over the Python stack: GNN-training footguns.
+
+These rules target silent-failure patterns specific to GNN training/serving
+code rather than general style (which ruff covers):
+
+- **M3D201** mixed device targets inside one function,
+- **M3D202** inference entry points running the model without
+  ``torch.no_grad()``/``torch.inference_mode()``,
+- **M3D203** ad-hoc global seeding outside the blessed
+  :mod:`m3d_fault_loc.utils.seed` utility,
+- **M3D204** bare ``except:`` handlers (escalated to ERROR inside training
+  code, where they can swallow OOM/keyboard interrupts mid-epoch).
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from m3d_fault_loc.analysis.violations import Severity, Violation
+
+#: Module basenames allowed to call global seeding primitives directly.
+BLESSED_SEED_MODULES = ("seed.py",)
+
+#: Function-name fragments that mark an inference entry point.
+INFERENCE_NAME_HINTS = ("predict", "infer", "inference", "evaluate", "eval_step", "score")
+
+#: Global-seeding call targets banned outside the blessed seed utility.
+SEEDING_CALLS = {
+    ("random", "seed"),
+    ("np", "random", "seed"),
+    ("numpy", "random", "seed"),
+    ("torch", "manual_seed"),
+    ("torch", "cuda", "manual_seed"),
+    ("torch", "cuda", "manual_seed_all"),
+}
+
+
+class CodeRule(ABC):
+    """One AST lint rule over a parsed Python module."""
+
+    id: str
+    severity: Severity
+    description: str
+
+    @abstractmethod
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        """Return all findings for the module at ``path``."""
+
+    def violation(
+        self, message: str, path: Path, line: int, severity: Severity | None = None
+    ) -> Violation:
+        return Violation(
+            rule_id=self.id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            location=f"{path}:{line}",
+        )
+
+
+def _dotted_name(node: ast.AST) -> tuple[str, ...]:
+    """Flatten ``a.b.c`` attribute chains to ``("a", "b", "c")``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _imports_torch(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import) and any(a.name.split(".")[0] == "torch" for a in node.names):
+            return True
+        if isinstance(node, ast.ImportFrom) and (node.module or "").split(".")[0] == "torch":
+            return True
+    return False
+
+
+class MixedDeviceTransferRule(CodeRule):
+    """Tensor transfers inside one function must agree on a device family —
+    mixing ``.to("cuda")`` with ``.cpu()`` in one code path is the classic
+    source of cross-device matmul crashes that only fire on GPU hosts."""
+
+    id = "M3D201"
+    severity = Severity.ERROR
+    description = "no mixed .to(device)/.cuda()/.cpu() targets within a function"
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        findings: list[Violation] = []
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            devices: dict[str, int] = {}  # device family -> first line seen
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                    continue
+                family: str | None = None
+                if node.func.attr == "cuda" and not node.args:
+                    family = "cuda"
+                elif node.func.attr == "cpu" and not node.args:
+                    family = "cpu"
+                elif node.func.attr == "to" and node.args:
+                    arg = node.args[0]
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        family = arg.value.split(":")[0].lower()
+                if family and family not in devices:
+                    devices[family] = node.lineno
+            if len(devices) > 1:
+                listing = ", ".join(f"{d} (line {ln})" for d, ln in sorted(devices.items()))
+                findings.append(
+                    self.violation(
+                        f"function '{fn.name}' moves tensors to multiple devices: {listing}",
+                        path,
+                        fn.lineno,
+                    )
+                )
+        return findings
+
+
+class MissingNoGradRule(CodeRule):
+    """Inference entry points must run the model under ``torch.no_grad()``
+    (or ``inference_mode``) — otherwise autograd silently builds graphs and
+    serving memory grows without bound."""
+
+    id = "M3D202"
+    severity = Severity.ERROR
+    description = "inference entry points must disable autograd"
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        if not _imports_torch(tree):
+            return []
+        findings: list[Violation] = []
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            name = fn.name.lower()
+            if not any(hint in name for hint in INFERENCE_NAME_HINTS):
+                continue
+            if self._decorated_no_grad(fn) or not self._calls_model(fn):
+                continue
+            if not self._has_no_grad_block(fn):
+                findings.append(
+                    self.violation(
+                        f"inference entry point '{fn.name}' runs the model without "
+                        "torch.no_grad()/torch.inference_mode()",
+                        path,
+                        fn.lineno,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_no_grad_expr(node: ast.AST) -> bool:
+        target = node.func if isinstance(node, ast.Call) else node
+        return _dotted_name(target)[-1:] in (("no_grad",), ("inference_mode",))
+
+    def _decorated_no_grad(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        return any(self._is_no_grad_expr(d) for d in fn.decorator_list)
+
+    def _has_no_grad_block(self, fn: ast.AST) -> bool:
+        return any(
+            isinstance(node, (ast.With, ast.AsyncWith))
+            and any(self._is_no_grad_expr(item.context_expr) for item in node.items)
+            for node in ast.walk(fn)
+        )
+
+    @staticmethod
+    def _calls_model(fn: ast.AST) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            last = dotted[-1] if dotted else ""
+            if last == "forward" or "model" in last:
+                return True
+        return False
+
+
+class AdHocSeedingRule(CodeRule):
+    """Global RNG seeding belongs in one place (``utils/seed.py``); scattered
+    ``random.seed``/``torch.manual_seed`` calls make runs irreproducible the
+    moment two call sites disagree."""
+
+    id = "M3D203"
+    severity = Severity.ERROR
+    description = "global seeding only inside the blessed seed utility"
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        if path.name in BLESSED_SEED_MODULES:
+            return []
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted in SEEDING_CALLS:
+                    findings.append(
+                        self.violation(
+                            f"ad-hoc global seeding via {'.'.join(dotted)}(); "
+                            "call m3d_fault_loc.utils.seed.seed_everything() instead",
+                            path,
+                            node.lineno,
+                        )
+                    )
+        return findings
+
+
+class BareExceptRule(CodeRule):
+    """Bare ``except:`` swallows SystemExit/KeyboardInterrupt; inside training
+    code it can silently eat a mid-epoch failure and corrupt the checkpoint,
+    so it escalates from WARNING to ERROR there."""
+
+    id = "M3D204"
+    severity = Severity.WARNING
+    description = "no bare except handlers (ERROR inside training code)"
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        findings: list[Violation] = []
+        self._visit(tree, path, in_train=False, findings=findings)
+        return findings
+
+    def _visit(
+        self, node: ast.AST, path: Path, in_train: bool, findings: list[Violation]
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_in_train = in_train
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_in_train = in_train or "train" in child.name.lower()
+            if isinstance(child, ast.ExceptHandler) and child.type is None:
+                severity = Severity.ERROR if in_train else Severity.WARNING
+                where = " inside training code" if in_train else ""
+                findings.append(
+                    self.violation(f"bare except handler{where}", path, child.lineno, severity)
+                )
+            self._visit(child, path, child_in_train, findings)
+
+
+#: Full built-in catalog, in rule-id order.
+BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
+    MixedDeviceTransferRule,
+    MissingNoGradRule,
+    AdHocSeedingRule,
+    BareExceptRule,
+)
+
+
+def lint_source(source: str, path: Path, rules: list[CodeRule] | None = None) -> list[Violation]:
+    """Lint one module's source text; syntax errors become findings."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id="M3D200",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                location=f"{path}:{exc.lineno or 0}",
+            )
+        ]
+    active = rules if rules is not None else [cls() for cls in BUILTIN_CODE_RULES]
+    findings: list[Violation] = []
+    for rule in active:
+        findings.extend(rule.check(tree, path))
+    return findings
+
+
+def lint_paths(paths: list[Path], rules: list[CodeRule] | None = None) -> list[Violation]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[Violation] = []
+    for f in files:
+        findings.extend(lint_source(f.read_text(), f, rules=rules))
+    return findings

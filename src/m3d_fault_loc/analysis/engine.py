@@ -1,0 +1,78 @@
+"""Declarative rule engine for the netlist contract checker.
+
+Each rule is a small class with an ``id``, a ``severity``, and a
+``check(graph, config) -> list[Violation]`` method. The engine owns a
+registry of rule instances and runs them in id order; callers (the CLI and
+the dataset loader gate) only see the flat finding list.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from m3d_fault_loc.analysis.violations import Severity, Violation
+from m3d_fault_loc.graph.schema import CircuitGraph
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Tunable thresholds shared by all rules."""
+
+    #: Fan-out above this bound is flagged (buffering/electrical concern).
+    max_fanout: int = 32
+
+
+class GraphRule(ABC):
+    """One contract rule over a :class:`CircuitGraph`."""
+
+    id: str
+    severity: Severity
+    description: str
+
+    @abstractmethod
+    def check(self, graph: CircuitGraph, config: RuleConfig) -> list[Violation]:
+        """Return all findings for ``graph`` (empty list when clean)."""
+
+    def violation(self, message: str, location: str = "", **context: object) -> Violation:
+        return Violation(
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+            location=location,
+            context=dict(context),
+        )
+
+
+class RuleEngine:
+    """Registry + runner for contract rules."""
+
+    def __init__(self, rules: list[GraphRule] | None = None, config: RuleConfig | None = None):
+        self.config = config or RuleConfig()
+        self._rules: dict[str, GraphRule] = {}
+        for rule in rules or []:
+            self.register(rule)
+
+    def register(self, rule: GraphRule) -> None:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id: {rule.id}")
+        self._rules[rule.id] = rule
+
+    @property
+    def rules(self) -> list[GraphRule]:
+        return [self._rules[rid] for rid in sorted(self._rules)]
+
+    def run(self, graph: CircuitGraph) -> list[Violation]:
+        """Run every registered rule; structural ERROR findings from earlier
+        rules do not stop later ones — callers get the full picture."""
+        findings: list[Violation] = []
+        for rule in self.rules:
+            findings.extend(rule.check(graph, self.config))
+        return findings
+
+
+def default_engine(config: RuleConfig | None = None) -> RuleEngine:
+    """Engine with the full built-in rule catalog registered."""
+    from m3d_fault_loc.analysis.graph_rules import BUILTIN_GRAPH_RULES
+
+    return RuleEngine(rules=[cls() for cls in BUILTIN_GRAPH_RULES], config=config)

@@ -1,0 +1,49 @@
+"""Finding model shared by the contract checker and the code lint pass."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ERROR findings fail gates and flip exit codes."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "ERROR" instead of "Severity.ERROR" in reports
+        return self.name
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One static-analysis finding.
+
+    ``location`` is a node/edge description for graph findings and a
+    ``path:line`` reference for code findings.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: str = ""
+    context: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location,
+            **({"context": self.context} if self.context else {}),
+        }
+
+    def render(self) -> str:
+        loc = f"{self.location}: " if self.location else ""
+        return f"[{self.severity}] {self.rule_id} {loc}{self.message}"
+
+
+def has_errors(violations: list[Violation]) -> bool:
+    return any(v.severity >= Severity.ERROR for v in violations)

@@ -1,0 +1,11 @@
+"""Dataset generation and contract-gated loading."""
+
+from m3d_fault_loc.data.dataset import CircuitGraphDataset, GraphContractError
+from m3d_fault_loc.data.synthetic import random_netlist, synthesize_fault_dataset
+
+__all__ = [
+    "CircuitGraphDataset",
+    "GraphContractError",
+    "random_netlist",
+    "synthesize_fault_dataset",
+]

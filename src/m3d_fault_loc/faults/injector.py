@@ -1,0 +1,62 @@
+"""Delay-fault injection into gate-level netlists.
+
+A delay fault adds extra propagation delay at a single gate (the classic
+small-delay-defect model); the observed timing then shows degraded slack at
+the fault site and everything downstream of it. The localizer's job is to
+recover the origin from that footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from m3d_fault_loc.graph.builder import build_circuit_graph
+from m3d_fault_loc.graph.netlist import Netlist
+from m3d_fault_loc.graph.schema import CircuitGraph
+
+
+@dataclass(frozen=True)
+class DelayFault:
+    """One injected small-delay defect."""
+
+    gate: str
+    extra_delay: float
+
+
+def inject_delay_fault(
+    netlist: Netlist,
+    rng: np.random.Generator,
+    extra_delay: float | None = None,
+    gate: str | None = None,
+) -> tuple[Netlist, DelayFault]:
+    """Inject a delay fault at a random (or given) non-PI gate.
+
+    Returns the faulty netlist and the fault descriptor. ``extra_delay``
+    defaults to a random multiple (2x–4x) of the victim gate's own delay so
+    the defect is observable but not trivially saturating.
+    """
+    candidates = sorted(name for name, g in netlist.gates.items() if not g.is_primary_input)
+    if not candidates:
+        raise ValueError("netlist has no non-PI gates to inject a fault into")
+    if gate is None:
+        gate = candidates[int(rng.integers(len(candidates)))]
+    elif gate not in netlist.gates or netlist.gates[gate].is_primary_input:
+        raise ValueError(f"cannot inject a delay fault at {gate!r}")
+    if extra_delay is None:
+        extra_delay = float(netlist.gates[gate].delay * rng.uniform(2.0, 4.0))
+    return netlist.with_extra_delay(gate, extra_delay), DelayFault(gate=gate, extra_delay=extra_delay)
+
+
+def make_fault_sample(
+    netlist: Netlist,
+    rng: np.random.Generator,
+    extra_delay: float | None = None,
+    gate: str | None = None,
+) -> CircuitGraph:
+    """Build a labeled training sample: graph features + fault-origin label."""
+    faulty, fault = inject_delay_fault(netlist, rng, extra_delay=extra_delay, gate=gate)
+    graph = build_circuit_graph(netlist, observed=faulty, fault_gate=fault.gate)
+    graph.meta["fault"] = {"gate": fault.gate, "extra_delay": fault.extra_delay}
+    return graph

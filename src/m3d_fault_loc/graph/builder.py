@@ -1,0 +1,107 @@
+"""Netlist → :class:`CircuitGraph` construction.
+
+The builder runs static timing on the nominal netlist (and, for fault
+samples, on an observed/faulty variant) and packs per-gate features into the
+schema layout the model consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from m3d_fault_loc.graph.netlist import Netlist
+from m3d_fault_loc.graph.schema import (
+    EDGE_MIV,
+    EDGE_NET,
+    FEATURE_COLUMNS,
+    INDEX_DTYPE,
+    NODE_DTYPE,
+    CircuitGraph,
+)
+from m3d_fault_loc.graph.timing import compute_timing
+
+
+def build_circuit_graph(
+    netlist: Netlist,
+    observed: Netlist | None = None,
+    fault_gate: str | None = None,
+) -> CircuitGraph:
+    """Build a schema-conformant graph from a netlist.
+
+    ``observed`` is the netlist as measured on silicon (e.g. with an injected
+    delay fault); when omitted, observed timing equals nominal timing and all
+    slack deltas are zero. ``fault_gate`` names the fault-origin gate and is
+    recorded as the localization label.
+    """
+    order = netlist.topological_order()
+    index = {name: i for i, name in enumerate(order)}
+    nominal = compute_timing(netlist)
+    measured = compute_timing(observed, clock_period=netlist.clock_period or None) if observed else nominal
+
+    n = len(order)
+    tier = np.zeros(n, dtype=INDEX_DTYPE)
+    is_pi = np.zeros(n, dtype=bool)
+    is_po = np.zeros(n, dtype=bool)
+    po_set = set(netlist.primary_outputs)
+
+    sources: list[int] = []
+    sinks: list[int] = []
+    etypes: list[int] = []
+    eattrs: list[float] = []
+    for name in order:
+        gate = netlist.gates[name]
+        i = index[name]
+        tier[i] = gate.tier
+        is_pi[i] = gate.is_primary_input
+        is_po[i] = name in po_set
+        for fi in gate.fanins:
+            j = index[fi]
+            sources.append(j)
+            sinks.append(i)
+            cross = netlist.gates[fi].tier != gate.tier
+            etypes.append(EDGE_MIV if cross else EDGE_NET)
+            eattrs.append(netlist.edge_delay(fi, name))
+
+    edge_index = np.asarray([sources, sinks], dtype=INDEX_DTYPE).reshape(2, -1)
+    edge_type = np.asarray(etypes, dtype=INDEX_DTYPE)
+    edge_attr = np.asarray(eattrs, dtype=NODE_DTYPE).reshape(-1, 1)
+
+    fanin = np.zeros(n)
+    fanout = np.zeros(n)
+    if edge_index.shape[1]:
+        np.add.at(fanin, edge_index[1], 1)
+        np.add.at(fanout, edge_index[0], 1)
+
+    tier_denom = max(netlist.num_tiers - 1, 1)
+    x = np.zeros((n, len(FEATURE_COLUMNS)), dtype=NODE_DTYPE)
+    for name in order:
+        i = index[name]
+        gate = netlist.gates[name]
+        nominal_slack = nominal.slack[name]
+        observed_slack = measured.slack[name]
+        x[i] = (
+            gate.delay,
+            nominal_slack,
+            observed_slack,
+            nominal_slack - observed_slack,
+            fanin[i],
+            fanout[i],
+            gate.tier / tier_denom,
+            float(is_pi[i]),
+            float(is_po[i]),
+        )
+
+    return CircuitGraph(
+        name=netlist.name,
+        num_tiers=netlist.num_tiers,
+        node_names=list(order),
+        x=x,
+        tier=tier,
+        is_pi=is_pi,
+        is_po=is_po,
+        edge_index=edge_index,
+        edge_type=edge_type,
+        edge_attr=edge_attr,
+        fault_index=index[fault_gate] if fault_gate is not None else None,
+        meta={"clock_period": netlist.clock_period, "critical_path": nominal.critical_path_delay},
+    )

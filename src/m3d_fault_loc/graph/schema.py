@@ -1,0 +1,146 @@
+"""Circuit-graph schema: the contract between data pipeline and model.
+
+Every graph that reaches training or inference must conform to this schema;
+the ``m3dlint`` contract checker (:mod:`m3d_fault_loc.analysis.graph_rules`)
+statically validates conformance before the loader hands graphs to the model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+#: Node feature columns, in storage order.
+FEATURE_COLUMNS: tuple[str, ...] = (
+    "gate_delay",
+    "nominal_slack",
+    "observed_slack",
+    "slack_delta",
+    "fanin",
+    "fanout",
+    "tier_frac",
+    "is_pi",
+    "is_po",
+)
+
+#: Edge feature columns, in storage order.
+EDGE_FEATURE_COLUMNS: tuple[str, ...] = ("wire_delay",)
+
+#: Required dtype for node/edge feature matrices.
+NODE_DTYPE = np.dtype(np.float32)
+#: Required dtype for index/tier arrays.
+INDEX_DTYPE = np.dtype(np.int64)
+
+#: Edge types: intra-tier net vs. monolithic inter-tier via.
+EDGE_NET = 0
+EDGE_MIV = 1
+
+
+@dataclass
+class CircuitGraph:
+    """A circuit netlist graph ready for the localizer model.
+
+    Arrays are stored exactly as the schema constants above dictate; the
+    contract checker treats any deviation (shape, dtype, range) as a finding.
+    """
+
+    name: str
+    num_tiers: int
+    node_names: list[str]
+    x: np.ndarray  # (N, len(FEATURE_COLUMNS)) NODE_DTYPE
+    tier: np.ndarray  # (N,) INDEX_DTYPE
+    is_pi: np.ndarray  # (N,) bool
+    is_po: np.ndarray  # (N,) bool
+    edge_index: np.ndarray  # (2, E) INDEX_DTYPE, [driver; sink]
+    edge_type: np.ndarray  # (E,) INDEX_DTYPE, EDGE_NET | EDGE_MIV
+    edge_attr: np.ndarray  # (E, len(EDGE_FEATURE_COLUMNS)) NODE_DTYPE
+    fault_index: int | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1]) if self.edge_index.ndim == 2 else 0
+
+    def feature(self, column: str) -> np.ndarray:
+        """Return one node-feature column by schema name."""
+        return self.x[:, FEATURE_COLUMNS.index(column)]
+
+    def in_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.num_nodes, dtype=INDEX_DTYPE)
+        if self.num_edges:
+            np.add.at(deg, self.edge_index[1], 1)
+        return deg
+
+    def out_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.num_nodes, dtype=INDEX_DTYPE)
+        if self.num_edges:
+            np.add.at(deg, self.edge_index[0], 1)
+        return deg
+
+    # -- serialization ----------------------------------------------------
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Serialize to a JSON-compatible dict, preserving array dtypes."""
+
+        def arr(a: np.ndarray) -> dict[str, Any]:
+            return {"dtype": str(a.dtype), "shape": list(a.shape), "data": a.ravel().tolist()}
+
+        return {
+            "schema_version": 1,
+            "name": self.name,
+            "num_tiers": self.num_tiers,
+            "node_names": list(self.node_names),
+            "x": arr(self.x),
+            "tier": arr(self.tier),
+            "is_pi": arr(self.is_pi),
+            "is_po": arr(self.is_po),
+            "edge_index": arr(self.edge_index),
+            "edge_type": arr(self.edge_type),
+            "edge_attr": arr(self.edge_attr),
+            "fault_index": self.fault_index,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, Any]) -> CircuitGraph:
+        """Deserialize, honoring the dtype recorded in the payload.
+
+        Dtypes are reconstructed as written rather than coerced to the schema
+        dtype — a payload that declares the wrong dtype round-trips to a graph
+        the contract checker can flag, instead of being silently "fixed".
+        """
+
+        def arr(spec: dict[str, Any]) -> np.ndarray:
+            return np.asarray(spec["data"], dtype=np.dtype(spec["dtype"])).reshape(spec["shape"])
+
+        return cls(
+            name=payload["name"],
+            num_tiers=payload["num_tiers"],
+            node_names=list(payload["node_names"]),
+            x=arr(payload["x"]),
+            tier=arr(payload["tier"]),
+            is_pi=arr(payload["is_pi"]),
+            is_po=arr(payload["is_po"]),
+            edge_index=arr(payload["edge_index"]),
+            edge_type=arr(payload["edge_type"]),
+            edge_attr=arr(payload["edge_attr"]),
+            fault_index=payload.get("fault_index"),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json_dict()))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> CircuitGraph:
+        return cls.from_json_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,60 @@
+"""Static timing analysis over a gate-level netlist.
+
+Classic topological-order arrival/required propagation. Slack is
+``required - arrival`` at each gate's output pin; a delay fault shows up as a
+localized slack degradation that propagates downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from m3d_fault_loc.graph.netlist import Netlist
+
+
+@dataclass
+class TimingResult:
+    """Per-gate arrival, required, and slack times."""
+
+    arrival: dict[str, float]
+    required: dict[str, float]
+    slack: dict[str, float]
+    critical_path_delay: float
+
+
+def compute_timing(netlist: Netlist, clock_period: float | None = None) -> TimingResult:
+    """Propagate arrival and required times, returning per-gate slack.
+
+    ``clock_period`` overrides the netlist's own clock period; when neither is
+    set, the critical-path delay is used (so the nominal worst slack is zero).
+    """
+    order = netlist.topological_order()
+    fanouts: dict[str, list[str]] = {name: [] for name in netlist.gates}
+    for gate in netlist.gates.values():
+        for fi in gate.fanins:
+            fanouts[fi].append(gate.name)
+
+    arrival: dict[str, float] = {}
+    for name in order:
+        gate = netlist.gates[name]
+        at_inputs = 0.0
+        for fi in gate.fanins:
+            at_inputs = max(at_inputs, arrival[fi] + netlist.edge_delay(fi, name))
+        arrival[name] = at_inputs + gate.delay
+
+    critical = max(arrival.values(), default=0.0)
+    period = clock_period if clock_period is not None else (netlist.clock_period or critical)
+
+    po_set = set(netlist.primary_outputs)
+    required: dict[str, float] = {}
+    for name in reversed(order):
+        req = period if (name in po_set or not fanouts[name]) else float("inf")
+        for fo in fanouts[name]:
+            gate = netlist.gates[fo]
+            req = min(req, required[fo] - gate.delay - netlist.edge_delay(name, fo))
+        required[name] = req
+
+    slack = {name: required[name] - arrival[name] for name in order}
+    return TimingResult(
+        arrival=arrival, required=required, slack=slack, critical_path_delay=critical
+    )

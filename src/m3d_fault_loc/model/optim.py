@@ -1,0 +1,38 @@
+"""Minimal numpy Adam optimizer for the localizer's parameter dict."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam over a ``dict[str, np.ndarray]`` parameter set."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        lr: float = 1e-2,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        self.t += 1
+        bias1 = 1.0 - self.beta1**self.t
+        bias2 = 1.0 - self.beta2**self.t
+        for key, param in self.params.items():
+            g = grads[key]
+            m = self._m[key]
+            v = self._v[key]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

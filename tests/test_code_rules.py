@@ -1,0 +1,135 @@
+"""AST lint rules: each GNN-stack footgun pattern is caught, clean code isn't."""
+
+from pathlib import Path
+
+from m3d_fault_loc.analysis.code_rules import lint_source
+from m3d_fault_loc.analysis.violations import Severity
+
+FAKE = Path("fake/module.py")
+
+
+def fired(source: str, path: Path = FAKE):
+    return {v.rule_id for v in lint_source(source, path)}
+
+
+# -- M3D201 mixed device targets ------------------------------------------
+
+
+def test_mixed_to_device_literals_flagged():
+    src = (
+        "def forward_pass(x, w):\n"
+        "    x = x.to('cuda')\n"
+        "    w = w.to('cpu')\n"
+        "    return x @ w\n"
+    )
+    assert "M3D201" in fired(src)
+
+
+def test_mixed_cuda_cpu_methods_flagged():
+    src = "def move(t, u):\n    return t.cuda() @ u.cpu()\n"
+    assert "M3D201" in fired(src)
+
+
+def test_consistent_device_not_flagged():
+    src = "def move(t, u):\n    return t.to('cuda:0') + u.to('cuda:1')\n"
+    assert "M3D201" not in fired(src)
+
+
+# -- M3D202 missing no_grad ------------------------------------------------
+
+
+def test_inference_without_no_grad_flagged():
+    src = (
+        "import torch\n"
+        "def predict(model, x):\n"
+        "    return model(x)\n"
+    )
+    assert "M3D202" in fired(src)
+
+
+def test_inference_with_no_grad_block_clean():
+    src = (
+        "import torch\n"
+        "def predict(model, x):\n"
+        "    with torch.no_grad():\n"
+        "        return model(x)\n"
+    )
+    assert "M3D202" not in fired(src)
+
+
+def test_inference_with_decorator_clean():
+    src = (
+        "import torch\n"
+        "@torch.no_grad()\n"
+        "def evaluate(model, x):\n"
+        "    return model.forward(x)\n"
+    )
+    assert "M3D202" not in fired(src)
+
+
+def test_no_torch_import_means_rule_inactive():
+    src = "def predict(model, x):\n    return model(x)\n"
+    assert "M3D202" not in fired(src)
+
+
+# -- M3D203 ad-hoc seeding -------------------------------------------------
+
+
+def test_adhoc_seeding_flagged_outside_blessed_module():
+    for call in ("random.seed(0)", "np.random.seed(0)", "torch.manual_seed(0)"):
+        assert "M3D203" in fired(f"def setup():\n    {call}\n"), call
+
+
+def test_seeding_allowed_in_blessed_module():
+    src = "import random\ndef seed_everything(s):\n    random.seed(s)\n"
+    assert "M3D203" not in fired(src, Path("pkg/utils/seed.py"))
+
+
+def test_generator_construction_not_flagged():
+    src = "import numpy as np\ndef make_rng(s):\n    return np.random.default_rng(s)\n"
+    assert "M3D203" not in fired(src)
+
+
+# -- M3D204 bare except ----------------------------------------------------
+
+
+def test_bare_except_warning_outside_training():
+    findings = [
+        v for v in lint_source("try:\n    pass\nexcept:\n    pass\n", FAKE)
+        if v.rule_id == "M3D204"
+    ]
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.WARNING
+
+
+def test_bare_except_error_inside_training_function():
+    src = (
+        "def train_epoch(batches):\n"
+        "    for b in batches:\n"
+        "        try:\n"
+        "            step(b)\n"
+        "        except:\n"
+        "            pass\n"
+    )
+    findings = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D204"]
+    assert len(findings) == 1
+    assert findings[0].severity == Severity.ERROR
+
+
+def test_typed_except_clean():
+    assert "M3D204" not in fired("try:\n    pass\nexcept ValueError:\n    pass\n")
+
+
+# -- misc ------------------------------------------------------------------
+
+
+def test_syntax_error_reported_as_finding():
+    findings = lint_source("def broken(:\n", FAKE)
+    assert [v.rule_id for v in findings] == ["M3D200"]
+    assert findings[0].severity == Severity.ERROR
+
+
+def test_locations_carry_path_and_line():
+    src = "import random\nrandom.seed(3)\n"
+    (finding,) = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D203"]
+    assert finding.location == f"{FAKE}:2"

@@ -1,0 +1,69 @@
+"""Contract checker: each violation fixture trips exactly its target rule."""
+
+import pytest
+
+from fixture_graphs import (
+    VIOLATION_FIXTURES,
+    make_clean_graph,
+    make_high_fanout_graph,
+)
+from m3d_fault_loc.analysis.engine import RuleConfig, RuleEngine, default_engine
+from m3d_fault_loc.analysis.violations import Severity, has_errors
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return default_engine()
+
+
+def test_clean_graph_has_no_findings(engine):
+    assert engine.run(make_clean_graph()) == []
+
+
+@pytest.mark.parametrize(
+    "factory,expected_rule",
+    [(f, rid) for f, rid in VIOLATION_FIXTURES.items()],
+    ids=[rid for rid in VIOLATION_FIXTURES.values()],
+)
+def test_violation_fixture_trips_its_rule(engine, factory, expected_rule):
+    findings = engine.run(factory())
+    fired = {v.rule_id for v in findings}
+    assert expected_rule in fired
+    assert has_errors(findings)
+
+
+@pytest.mark.parametrize(
+    "factory,expected_rule",
+    [(f, rid) for f, rid in VIOLATION_FIXTURES.items()],
+    ids=[rid for rid in VIOLATION_FIXTURES.values()],
+)
+def test_violation_survives_json_roundtrip(engine, tmp_path, factory, expected_rule):
+    """Serialization must not launder defects (dtype included)."""
+    graph = factory()
+    path = graph.save(tmp_path / "graph.json")
+    reloaded = type(graph).load(path)
+    assert expected_rule in {v.rule_id for v in engine.run(reloaded)}
+
+
+def test_fanout_bound_is_a_warning():
+    engine = default_engine(RuleConfig(max_fanout=2))
+    findings = engine.run(make_high_fanout_graph(n_sinks=4))
+    assert {v.rule_id for v in findings} == {"M3D108"}
+    assert all(v.severity == Severity.WARNING for v in findings)
+    assert not has_errors(findings)
+    # Same graph under the default bound is entirely clean.
+    assert default_engine().run(make_high_fanout_graph(n_sinks=4)) == []
+
+
+def test_engine_rejects_duplicate_rule_ids(engine):
+    duplicate = type(engine.rules[0])()
+    with pytest.raises(ValueError, match="duplicate rule id"):
+        RuleEngine(rules=[type(engine.rules[0])(), duplicate])
+
+
+def test_rule_catalog_is_sorted_and_documented(engine):
+    ids = [r.id for r in engine.rules]
+    assert ids == sorted(ids)
+    for rule in engine.rules:
+        assert rule.description
+        assert rule.id.startswith("M3D1")

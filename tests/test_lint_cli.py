@@ -1,0 +1,97 @@
+"""m3dlint CLI: exit codes, output formats, and the code subcommand."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from fixture_graphs import VIOLATION_FIXTURES, make_clean_graph, make_high_fanout_graph
+from m3d_fault_loc.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture()
+def violation_dir(tmp_path):
+    for i, factory in enumerate(VIOLATION_FIXTURES):
+        factory().save(tmp_path / f"bad_{i}.json")
+    return tmp_path
+
+
+def test_check_clean_graph_exits_zero(tmp_path, capsys):
+    make_clean_graph().save(tmp_path / "clean.json")
+    assert main(["check", str(tmp_path)]) == EXIT_CLEAN
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_check_flags_every_fixture_with_correct_rule_ids(violation_dir, capsys):
+    assert main(["check", str(violation_dir), "--format", "json"]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    fired = {v["rule_id"] for v in payload["violations"]}
+    assert set(VIOLATION_FIXTURES.values()) <= fired
+    assert payload["counts"]["error"] >= len(VIOLATION_FIXTURES)
+
+
+def test_check_single_file_text_format(violation_dir, capsys):
+    target = next(violation_dir.glob("bad_0.json"))
+    assert main(["check", str(target)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "[ERROR]" in out and str(target) in out
+
+
+def test_check_warning_only_graph_exits_zero(tmp_path, capsys):
+    make_high_fanout_graph(n_sinks=4).save(tmp_path / "fanout.json")
+    assert main(["check", str(tmp_path), "--max-fanout", "2"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "M3D108" in out and "[WARNING]" in out
+
+
+def test_check_corrupt_payload_is_a_finding(tmp_path, capsys):
+    (tmp_path / "corrupt.json").write_text("{not json")
+    assert main(["check", str(tmp_path)]) == EXIT_FINDINGS
+    assert "M3D100" in capsys.readouterr().out
+
+
+def test_check_missing_path_is_usage_error(capsys):
+    assert main(["check", "does/not/exist"]) == EXIT_USAGE
+
+
+def test_code_subcommand_is_clean_on_own_source(capsys):
+    """Acceptance criterion: `m3dlint code src/` runs clean on this repo."""
+    assert main(["code", str(SRC_DIR)]) == EXIT_CLEAN
+    assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+
+def test_code_subcommand_flags_footguns(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(
+        "import random\n"
+        "def train_loop():\n"
+        "    random.seed(1)\n"
+        "    try:\n"
+        "        pass\n"
+        "    except:\n"
+        "        pass\n"
+    )
+    assert main(["code", str(tmp_path), "--format", "json"]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    fired = {v["rule_id"] for v in payload["violations"]}
+    assert {"M3D203", "M3D204"} <= fired
+
+
+def test_rules_subcommand_lists_catalog(capsys):
+    assert main(["rules", "--format", "json"]) == EXIT_CLEAN
+    catalog = {r["id"] for r in json.loads(capsys.readouterr().out)}
+    assert {"M3D101", "M3D106", "M3D201", "M3D204"} <= catalog
+
+
+def test_cli_runs_as_module(tmp_path):
+    make_clean_graph().save(tmp_path / "clean.json")
+    proc = subprocess.run(
+        [sys.executable, "-m", "m3d_fault_loc.analysis.cli", "check", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert proc.returncode == EXIT_CLEAN, proc.stderr

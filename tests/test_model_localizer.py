@@ -1,0 +1,78 @@
+"""Localizer model: gradients, learning, persistence, determinism."""
+
+import numpy as np
+import pytest
+
+from m3d_fault_loc.cli.train import localization_accuracy, train
+from m3d_fault_loc.data.dataset import CircuitGraphDataset
+from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
+from m3d_fault_loc.model.localizer import DelayFaultLocalizer, in_neighbor_mean
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(0)
+    return CircuitGraphDataset.from_graphs(
+        synthesize_fault_dataset(rng, n_graphs=80, n_gates=25, n_inputs=5)
+    )
+
+
+def test_in_neighbor_mean_rows(dataset):
+    graph = dataset[0]
+    m = in_neighbor_mean(graph)
+    rows = np.asarray(m.sum(axis=1)).ravel()
+    indeg = graph.in_degrees()
+    assert np.allclose(rows[indeg > 0], 1.0)
+    assert np.allclose(rows[indeg == 0], 0.0)
+
+
+def test_gradients_match_finite_differences(dataset):
+    graph = dataset[0]
+    model = DelayFaultLocalizer(hidden=8, seed=3)
+    loss, grads = model.loss_and_grads(graph)
+    rng = np.random.default_rng(1)
+    eps = 1e-6
+    for key in ("W1n", "W2s", "w3", "b1"):
+        param = model.params[key]
+        idx = tuple(rng.integers(s) for s in param.shape)
+        param[idx] += eps
+        loss_plus, _ = model.loss_and_grads(graph)
+        param[idx] -= 2 * eps
+        loss_minus, _ = model.loss_and_grads(graph)
+        param[idx] += eps
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert grads[key][idx] == pytest.approx(numeric, rel=1e-4, abs=1e-7), key
+
+
+def test_training_beats_untrained_baseline(dataset):
+    rng = np.random.default_rng(2)
+    untrained = DelayFaultLocalizer(hidden=16, seed=0)
+    baseline = localization_accuracy(untrained, dataset)
+    model = train(dataset, rng, epochs=12, batch_size=8, hidden=16, seed=0, log=None)
+    trained = localization_accuracy(model, dataset)
+    chance = 1.0 / dataset[0].num_nodes
+    assert trained >= 0.5
+    assert trained > max(baseline, chance) + 0.2
+
+
+def test_unlabeled_graph_rejected_for_training(dataset):
+    graph = dataset[0]
+    stripped = type(graph)(**{**graph.__dict__, "fault_index": None})
+    with pytest.raises(ValueError, match="no fault label"):
+        DelayFaultLocalizer(hidden=8).loss_and_grads(stripped)
+
+
+def test_save_load_roundtrip(tmp_path, dataset):
+    model = DelayFaultLocalizer(hidden=8, seed=5)
+    path = model.save(tmp_path / "model.npz")
+    reloaded = DelayFaultLocalizer.load(path)
+    graph = dataset[0]
+    assert np.allclose(model.node_scores(graph), reloaded.node_scores(graph))
+    assert reloaded.hidden == 8
+
+
+def test_same_seed_same_init():
+    a = DelayFaultLocalizer(hidden=8, seed=9)
+    b = DelayFaultLocalizer(hidden=8, seed=9)
+    for key in a.params:
+        assert np.array_equal(a.params[key], b.params[key])

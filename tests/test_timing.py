@@ -1,0 +1,89 @@
+"""Static timing analysis: arrival/required propagation and slack."""
+
+import numpy as np
+import pytest
+
+from m3d_fault_loc.graph.netlist import Gate, Netlist
+from m3d_fault_loc.graph.timing import compute_timing
+
+
+def chain_netlist(delays, clock_period=None):
+    netlist = Netlist(name="chain", num_tiers=1, wire_delay=0.0)
+    netlist.add_gate(Gate(name="pi0", cell="PI", fanins=(), tier=0, delay=0.0))
+    prev = "pi0"
+    for i, d in enumerate(delays):
+        netlist.add_gate(Gate(name=f"g{i}", cell="BUF", fanins=(prev,), tier=0, delay=d))
+        prev = f"g{i}"
+    netlist.primary_outputs = (prev,)
+    if clock_period is not None:
+        netlist.clock_period = clock_period
+    return netlist
+
+
+def test_arrival_accumulates_along_chain():
+    timing = compute_timing(chain_netlist([1.0, 2.0, 3.0]))
+    assert timing.arrival["g2"] == pytest.approx(6.0)
+    assert timing.critical_path_delay == pytest.approx(6.0)
+
+
+def test_slack_against_clock_period():
+    timing = compute_timing(chain_netlist([1.0, 2.0, 3.0], clock_period=10.0))
+    assert timing.slack["g2"] == pytest.approx(4.0)
+    # Upstream gates carry the same path slack on a pure chain.
+    assert timing.slack["g0"] == pytest.approx(4.0)
+
+
+def test_default_period_gives_zero_worst_slack():
+    timing = compute_timing(chain_netlist([1.0, 2.0]))
+    assert min(timing.slack.values()) == pytest.approx(0.0)
+
+
+def test_extra_delay_reduces_downstream_slack_only():
+    nominal = compute_timing(chain_netlist([1.0, 1.0, 1.0], clock_period=10.0))
+    faulty_nl = chain_netlist([1.0, 1.0, 1.0], clock_period=10.0).with_extra_delay("g1", 2.0)
+    faulty = compute_timing(faulty_nl)
+    # Fault at g1: slack at and below the fault degrades by the extra delay.
+    assert nominal.slack["g1"] - faulty.slack["g1"] == pytest.approx(2.0)
+    assert nominal.slack["g2"] - faulty.slack["g2"] == pytest.approx(2.0)
+    # g0 drives the faulty path, so its required time also tightens.
+    assert nominal.slack["g0"] - faulty.slack["g0"] == pytest.approx(2.0)
+
+
+def test_miv_edges_add_wire_delay():
+    netlist = Netlist(name="miv", num_tiers=2, wire_delay=0.0, miv_delay=0.5)
+    netlist.add_gate(Gate(name="pi0", cell="PI", fanins=(), tier=0, delay=0.0))
+    netlist.add_gate(Gate(name="g0", cell="BUF", fanins=("pi0",), tier=1, delay=1.0))
+    netlist.primary_outputs = ("g0",)
+    timing = compute_timing(netlist)
+    assert timing.arrival["g0"] == pytest.approx(1.5)
+
+
+def test_reconvergent_paths_take_max_arrival():
+    netlist = Netlist(name="reconv", num_tiers=1, wire_delay=0.0)
+    netlist.add_gate(Gate(name="pi0", cell="PI", fanins=(), tier=0, delay=0.0))
+    netlist.add_gate(Gate(name="fast", cell="BUF", fanins=("pi0",), tier=0, delay=1.0))
+    netlist.add_gate(Gate(name="slow", cell="BUF", fanins=("pi0",), tier=0, delay=4.0))
+    netlist.add_gate(Gate(name="join", cell="AND2", fanins=("fast", "slow"), tier=0, delay=1.0))
+    netlist.primary_outputs = ("join",)
+    timing = compute_timing(netlist)
+    assert timing.arrival["join"] == pytest.approx(5.0)
+    # The fast side has positive slack; the slow side is critical.
+    assert timing.slack["slow"] == pytest.approx(0.0)
+    assert timing.slack["fast"] == pytest.approx(3.0)
+
+
+def test_topological_order_rejects_cycles():
+    netlist = Netlist(name="loop", num_tiers=1)
+    netlist.add_gate(Gate(name="a", cell="INV", fanins=("b",), tier=0, delay=1.0))
+    netlist.add_gate(Gate(name="b", cell="INV", fanins=("a",), tier=0, delay=1.0))
+    with pytest.raises(ValueError, match="cycle"):
+        netlist.topological_order()
+
+
+def test_random_netlist_has_positive_nominal_slack():
+    from m3d_fault_loc.data.synthetic import random_netlist
+
+    rng = np.random.default_rng(5)
+    netlist = random_netlist(rng, n_gates=30, n_inputs=5, slack_margin=1.2)
+    timing = compute_timing(netlist)
+    assert min(timing.slack.values()) > 0.0

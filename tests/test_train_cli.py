@@ -1,0 +1,57 @@
+"""End-to-end train/evaluate CLI walkthrough on tiny synthetic data."""
+
+from pathlib import Path
+
+from m3d_fault_loc.cli import evaluate as evaluate_cli
+from m3d_fault_loc.cli import train as train_cli
+from m3d_fault_loc.analysis.cli import EXIT_CLEAN
+from m3d_fault_loc.analysis.cli import main as m3dlint_main
+
+
+def test_train_then_evaluate_roundtrip(tmp_path, capsys):
+    model_path = tmp_path / "model.npz"
+    data_dir = tmp_path / "graphs"
+    rc = train_cli.main(
+        [
+            "--seed", "0",
+            "--n-graphs", "30",
+            "--n-gates", "15",
+            "--epochs", "4",
+            "--hidden", "8",
+            "--out", str(model_path),
+            "--save-data-dir", str(data_dir),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "held-out localization accuracy" in out
+    assert model_path.exists()
+
+    # The serialized training set passes the standalone contract checker.
+    assert m3dlint_main(["check", str(data_dir)]) == EXIT_CLEAN
+    capsys.readouterr()
+
+    rc = evaluate_cli.main(
+        ["--model", str(model_path), "--data-dir", str(data_dir), "--top-k", "3"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "top-1 localization accuracy" in out
+    assert "top-3 localization accuracy" in out
+
+
+def test_train_refuses_contract_violating_data(tmp_path, capsys):
+    from fixture_graphs import make_bad_dtype_graph
+
+    data_dir = tmp_path / "bad"
+    data_dir.mkdir()
+    make_bad_dtype_graph().save(data_dir / "bad.json")
+    rc = train_cli.main(["--data-dir", str(data_dir), "--out", str(tmp_path / "m.npz")])
+    assert rc == 1
+    assert "contract gate rejected" in capsys.readouterr().err
+
+
+def test_cli_modules_are_lint_clean():
+    """The shipped CLIs must satisfy the repo's own code rules (M3D2xx)."""
+    cli_dir = Path(train_cli.__file__).parent
+    assert m3dlint_main(["code", str(cli_dir)]) == EXIT_CLEAN
