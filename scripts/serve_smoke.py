@@ -1,0 +1,135 @@
+"""End-to-end smoke of the serving stack against a real subprocess.
+
+Boots ``m3d_fault_loc.cli.serve`` on an ephemeral port, then drives the
+acceptance scenario over real HTTP: health check, a localization, a repeat
+of the same graph (must be a cache hit with no extra forward pass), a
+contract-violating graph (must get a structured 422), and a metrics read
+asserting the counters actually advanced. Exits non-zero on any failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py --model /tmp/localizer.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
+
+
+def _request(
+    port: int, method: str, path: str, body: dict[str, Any] | None = None
+) -> tuple[int, Any]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type") or ""
+        data = json.loads(raw) if "json" in content_type else raw.decode()
+        return response.status, data
+    finally:
+        conn.close()
+
+
+def _check(condition: bool, label: str) -> None:
+    if not condition:
+        raise AssertionError(f"smoke check failed: {label}")
+    print(f"ok: {label}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", type=Path, required=True, help="trained .npz artifact")
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(11)
+    graph = synthesize_fault_dataset(rng, n_graphs=1, n_gates=12, n_inputs=3)[0]
+    good_payload = {"graph": graph.to_json_dict(), "top_k": 3}
+    bad_graph = graph.to_json_dict()
+    bad_graph["x"]["dtype"] = "float64"  # schema dtype violation -> M3D106
+    bad_graph["name"] = "smoke-bad-dtype"
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "m3d_fault_loc.cli.serve", "--model", str(args.model),
+         "--port", "0", "--batch-window-ms", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = None
+        assert proc.stdout is not None
+        for _ in range(20):
+            line = proc.stdout.readline()
+            if not line:
+                break
+            print(f"[server] {line.rstrip()}")
+            if line.startswith("serving on http://"):
+                port = int(line.rsplit(":", 1)[1])
+                break
+        _check(port is not None, "server booted and printed its ephemeral port")
+        assert port is not None
+
+        status, health = _request(port, "GET", "/healthz")
+        _check(status == 200 and health["status"] == "ok", "GET /healthz is ok")
+
+        status, first = _request(port, "POST", "/localize", good_payload)
+        _check(status == 200 and len(first["top"]) == 3, "POST /localize returns top-3")
+        _check(first["cached"] is False, "first localization is a model run")
+
+        status, second = _request(port, "POST", "/localize", good_payload)
+        _check(status == 200 and second["cached"] is True, "repeat request served from cache")
+        _check(second["top"] == first["top"], "cached ranking matches the original")
+
+        status, rejection = _request(
+            port, "POST", "/localize", {"graph": bad_graph, "top_k": 3}
+        )
+        _check(status == 422, "contract-violating graph rejected with 422")
+        _check(
+            any(v["rule_id"].startswith("M3D1") for v in rejection["violations"]),
+            "rejection cites an M3D1xx contract rule",
+        )
+
+        status, metrics = _request(port, "GET", "/metrics?format=json")
+        _check(status == 200, "GET /metrics responds")
+        _check(metrics["m3d_requests_total"]["value"] == 3, "request counter advanced to 3")
+        _check(metrics["m3d_cache_hits_total"]["value"] == 1, "cache-hit counter advanced")
+        _check(metrics["m3d_forward_passes_total"]["value"] == 1, "exactly one forward pass ran")
+        _check(
+            metrics["m3d_contract_rejections_total"]["value"] == 1, "rejection counter advanced"
+        )
+        _check(
+            metrics["m3d_request_latency_seconds"]["count"] >= 2
+            and metrics["m3d_request_latency_seconds"]["sum"] > 0,
+            "latency histogram recorded non-zero time",
+        )
+
+        status, prom = _request(port, "GET", "/metrics")
+        _check(
+            isinstance(prom, str) and "m3d_requests_total 3" in prom,
+            "Prometheus text exposition agrees",
+        )
+        print("serve smoke: PASS")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,9 @@ code rather than general style (which ruff covers):
 - **M3D203** ad-hoc global seeding outside the blessed
   :mod:`m3d_fault_loc.utils.seed` utility,
 - **M3D204** bare ``except:`` handlers (escalated to ERROR inside training
-  code, where they can swallow OOM/keyboard interrupts mid-epoch).
+  code, where they can swallow OOM/keyboard interrupts mid-epoch),
+- **M3D205** unbounded module-level dict caches (escalated to ERROR inside
+  the serving layer, where they grow with every unique request).
 """
 
 from __future__ import annotations
@@ -238,12 +240,65 @@ class BareExceptRule(CodeRule):
             self._visit(child, path, child_in_train, findings)
 
 
+class UnboundedModuleCacheRule(CodeRule):
+    """A module-level ``dict`` named like a cache never evicts: in serving
+    code it grows with every unique request — a slow memory leak under
+    production traffic — so it escalates from WARNING to ERROR inside
+    ``serve/`` sources, where the bounded
+    :class:`~m3d_fault_loc.serve.cache.LRUResultCache` is the blessed tool."""
+
+    id = "M3D205"
+    severity = Severity.WARNING
+    description = "no unbounded module-level dict caches (ERROR inside serve/ code)"
+
+    #: Name fragments marking a binding as a cache.
+    CACHE_NAME_HINTS = ("cache", "memo")
+    #: Call targets that build a plain (unbounded) mapping.
+    _DICT_CALLS = (("dict",), ("collections", "defaultdict"), ("defaultdict",), ("OrderedDict",))
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        in_serve = "serve" in path.parts
+        findings: list[Violation] = []
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not self._is_unbounded_dict(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id.lower()
+                if any(hint in name for hint in self.CACHE_NAME_HINTS):
+                    where = " inside serving code" if in_serve else ""
+                    findings.append(
+                        self.violation(
+                            f"module-level dict cache '{target.id}' is unbounded{where}; "
+                            "use a bounded LRU (m3d_fault_loc.serve.cache.LRUResultCache)",
+                            path,
+                            node.lineno,
+                            Severity.ERROR if in_serve else Severity.WARNING,
+                        )
+                    )
+        return findings
+
+    @classmethod
+    def _is_unbounded_dict(cls, value: ast.AST) -> bool:
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            return True
+        return isinstance(value, ast.Call) and _dotted_name(value.func) in cls._DICT_CALLS
+
+
 #: Full built-in catalog, in rule-id order.
 BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     MixedDeviceTransferRule,
     MissingNoGradRule,
     AdHocSeedingRule,
     BareExceptRule,
+    UnboundedModuleCacheRule,
 )
 
 

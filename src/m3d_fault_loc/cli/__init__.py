@@ -1,1 +1,1 @@
-"""Command-line entry points (training and evaluation)."""
+"""Command-line entry points (training, evaluation, and serving)."""

@@ -1,0 +1,86 @@
+"""Serve the delay-fault localizer over HTTP.
+
+Usage::
+
+    PYTHONPATH=src python -m m3d_fault_loc.cli.serve --model runs/localizer.npz
+    PYTHONPATH=src python -m m3d_fault_loc.cli.serve --registry runs/registry --port 8080
+
+Exactly one model source is required: ``--model`` serves a fixed ``.npz``
+artifact, ``--registry`` serves the registry's active version and hot-reloads
+whenever the activation pointer changes. ``--port 0`` binds an ephemeral
+port; the chosen address is printed as ``serving on http://host:port`` so
+harnesses (CI smoke, tests) can parse it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.serve.registry import ModelRegistry, ModelRegistryError
+from m3d_fault_loc.serve.server import create_server
+from m3d_fault_loc.serve.service import LocalizationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--model", type=Path, default=None,
+                        help="serve a fixed .npz localizer artifact")
+    source.add_argument("--registry", type=Path, default=None,
+                        help="serve the registry's active model, with hot reload")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8361,
+                        help="TCP port (0 binds an ephemeral port)")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="largest micro-batch per forward pass")
+    parser.add_argument("--batch-window-ms", type=float, default=5.0,
+                        help="how long the worker waits to fill a batch")
+    parser.add_argument("--cache-size", type=int, default=1024,
+                        help="result-cache capacity (content-hash LRU entries)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.model is not None:
+            if not args.model.exists():
+                print(f"no such model file: {args.model}", file=sys.stderr)
+                return 2
+            service = LocalizationService(
+                model=DelayFaultLocalizer.load(args.model),
+                max_batch=args.max_batch,
+                batch_window_s=args.batch_window_ms / 1e3,
+                cache_size=args.cache_size,
+            )
+        else:
+            service = LocalizationService(
+                registry=ModelRegistry(args.registry),
+                max_batch=args.max_batch,
+                batch_window_s=args.batch_window_ms / 1e3,
+                cache_size=args.cache_size,
+            )
+    except ModelRegistryError as exc:
+        print(f"registry error: {exc}", file=sys.stderr)
+        return 2
+
+    server = create_server(service, host=args.host, port=args.port)
+    info = service.describe_model()
+    print(f"model: {info['name']}/{info['version']} (sha256 {info['sha256'][:12]}…)", flush=True)
+    print(f"serving on http://{args.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,7 +130,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     test_acc = localization_accuracy(model, test_set)
     print(f"held-out localization accuracy: {test_acc:.3f}")
-    saved = model.save(args.out)
+    saved = model.save(
+        args.out,
+        metadata={
+            "seed": args.seed,
+            "epochs": args.epochs,
+            "hidden": args.hidden,
+            "lr": args.lr,
+            "train_graphs": len(train_set),
+            "test_graphs": len(test_set),
+            "test_accuracy": round(test_acc, 4),
+            "data_dir": str(args.data_dir) if args.data_dir is not None else None,
+        },
+    )
     print(f"model saved to {saved}")
     return 0
 

@@ -29,6 +29,22 @@ class GraphContractError(ValueError):
         super().__init__(f"graph {graph_name!r} violates the data contract: {details}{more}")
 
 
+def gate_graph(graph: CircuitGraph, engine: RuleEngine | None = None) -> list[Violation]:
+    """Run one graph through the contract gate; ERRORs raise, warnings return.
+
+    This is the single-graph fast path shared by dataset construction and the
+    serving layer (:mod:`m3d_fault_loc.serve`): one engine run per graph, the
+    exact severity semantics of the dataset gate, and none of the dataset
+    assembly cost per request. Like the dataset gate, it has no bypass flag.
+    """
+    engine = engine or default_engine()
+    findings = engine.run(graph)
+    errors = [v for v in findings if v.severity >= Severity.ERROR]
+    if errors:
+        raise GraphContractError(graph.name, errors)
+    return findings
+
+
 class CircuitGraphDataset:
     """An in-memory set of contract-checked, labeled circuit graphs."""
 
@@ -47,11 +63,7 @@ class CircuitGraphDataset:
         accepted: list[CircuitGraph] = []
         warnings: list[Violation] = []
         for graph in graphs:
-            findings = engine.run(graph)
-            errors = [v for v in findings if v.severity >= Severity.ERROR]
-            if errors:
-                raise GraphContractError(graph.name, errors)
-            warnings.extend(v for v in findings if v.severity < Severity.ERROR)
+            warnings.extend(gate_graph(graph, engine))
             accepted.append(graph)
         return cls(accepted, warnings)
 
@@ -79,6 +91,11 @@ class CircuitGraphDataset:
             raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
         order = rng.permutation(len(self._graphs))
         n_test = max(1, int(round(len(self._graphs) * test_fraction)))
+        if n_test >= len(self._graphs):
+            raise ValueError(
+                f"cannot split {len(self._graphs)} graph(s) with "
+                f"test_fraction={test_fraction}: the train split would be empty"
+            )
         test_idx = set(order[:n_test].tolist())
         train = [g for i, g in enumerate(self._graphs) if i not in test_idx]
         test = [g for i, g in enumerate(self._graphs) if i in test_idx]

@@ -13,7 +13,10 @@ GNNs so a torch_geometric port stays mechanical.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from pathlib import Path
+from typing import Any, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -45,6 +48,10 @@ class DelayFaultLocalizer:
             scale = np.sqrt(6.0 / (fan_in + fan_out))
             return rng.uniform(-scale, scale, size=(fan_in, fan_out))
 
+        #: Free-form artifact metadata carried alongside the weights on
+        #: save/load (training config, provenance); never touches the math.
+        self.artifact_meta: dict[str, Any] = {}
+
         h = hidden
         self.params: dict[str, np.ndarray] = {
             "W1s": glorot(self.in_dim, h),
@@ -68,17 +75,43 @@ class DelayFaultLocalizer:
         """Index of the most likely fault-origin node."""
         return int(np.argmax(self.node_scores(graph)))
 
+    def node_scores_batch(self, graphs: Sequence[CircuitGraph]) -> list[np.ndarray]:
+        """Per-graph logit arrays from one stacked forward pass.
+
+        Features are concatenated and the aggregation matrices placed on a
+        block diagonal, so every row's dot products are the same sums in the
+        same order as the single-graph path — results match
+        :meth:`node_scores` exactly, not just approximately.
+        """
+        if not graphs:
+            return []
+        sizes = [g.num_nodes for g in graphs]
+        x = np.concatenate([g.x.astype(np.float64) for g in graphs], axis=0)
+        m = sp.block_diag([in_neighbor_mean(g) for g in graphs], format="csr")
+        logits, _ = self._forward_arrays(x, m)
+        return [part.copy() for part in np.split(logits, np.cumsum(sizes)[:-1])]
+
+    def predict_batch(self, graphs: Sequence[CircuitGraph]) -> list[int]:
+        """Most likely fault-origin index for each graph, one forward pass."""
+        return [int(np.argmax(scores)) for scores in self.node_scores_batch(graphs)]
+
     def _forward(self, graph: CircuitGraph):
-        p = self.params
         x = graph.x.astype(np.float64)
-        m = in_neighbor_mean(graph)
+        return self._forward_arrays(x, in_neighbor_mean(graph))
+
+    def _forward_arrays(self, x: np.ndarray, m: sp.csr_matrix):
+        p = self.params
         mx = m @ x
         a1 = x @ p["W1s"] + mx @ p["W1n"] + p["b1"]
         h1 = np.maximum(a1, 0.0)
         mh1 = m @ h1
         a2 = h1 @ p["W2s"] + mh1 @ p["W2n"] + p["b2"]
         h2 = np.maximum(a2, 0.0)
-        logits = (h2 @ p["w3"] + p["b3"]).ravel()
+        # The head is an (N, h) @ (h, 1) product; BLAS picks N-dependent gemv
+        # strategies whose last-ulp rounding would break the exact
+        # single-vs-batch parity promised by node_scores_batch. einsum keeps
+        # a fixed per-row accumulation order regardless of N.
+        logits = (np.einsum("nh,ho->no", h2, p["w3"]) + p["b3"]).ravel()
         cache = (x, m, mx, a1, h1, mh1, a2, h2)
         return logits, cache
 
@@ -120,15 +153,26 @@ class DelayFaultLocalizer:
 
     # -- persistence ------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
+    def save(self, path: str | Path, metadata: dict[str, Any] | None = None) -> Path:
+        """Serialize weights (plus artifact metadata) to ``.npz``.
+
+        ``np.savez`` appends ``.npz`` whenever the target name does not end
+        with it; the path is normalized with the same ``endswith`` rule first
+        so the returned path is always exactly the file written (e.g.
+        ``model.bin`` → ``model.bin.npz``).
+        """
         path = Path(path)
+        if not path.name.endswith(".npz"):
+            path = path.with_name(path.name + ".npz")
+        meta = {**self.artifact_meta, **(metadata or {})}
         np.savez(
             path,
             __in_dim=np.asarray(self.in_dim),
             __hidden=np.asarray(self.hidden),
+            __meta=np.asarray(json.dumps(meta)),
             **self.params,
         )
-        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+        return path
 
     @classmethod
     def load(cls, path: str | Path) -> DelayFaultLocalizer:
@@ -136,4 +180,16 @@ class DelayFaultLocalizer:
             model = cls(in_dim=int(payload["__in_dim"]), hidden=int(payload["__hidden"]))
             for key in model.params:
                 model.params[key] = payload[key].copy()
+            if "__meta" in payload.files:
+                model.artifact_meta = json.loads(payload["__meta"].item())
         return model
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the weights (used as a cache-key component
+        and as the ad-hoc model identity when serving without a registry)."""
+        digest = hashlib.sha256()
+        for key in sorted(self.params):
+            arr = np.ascontiguousarray(self.params[key])
+            digest.update(key.encode())
+            digest.update(arr.tobytes())
+        return digest.hexdigest()

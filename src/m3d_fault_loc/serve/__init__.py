@@ -1,0 +1,37 @@
+"""Inference serving subsystem: registry, micro-batched service, HTTP API.
+
+Layers, bottom up:
+
+- :mod:`m3d_fault_loc.serve.cache` — content-hash LRU result cache keyed on
+  a canonical graph digest, so repeated queries of the same netlist are
+  answered without a forward pass.
+- :mod:`m3d_fault_loc.serve.metrics` — counters / gauges / latency
+  histograms, exported as JSON and Prometheus text.
+- :mod:`m3d_fault_loc.serve.registry` — versioned ``.npz`` model artifacts
+  with checksums and metadata, plus an activation pointer the service
+  hot-reloads from.
+- :mod:`m3d_fault_loc.serve.service` — :class:`LocalizationService`: a
+  thread-safe request queue micro-batching graphs through
+  ``DelayFaultLocalizer.predict_batch``, with every request gated by the
+  m3dlint contract engine (ERROR findings reject, never a wrong answer).
+- :mod:`m3d_fault_loc.serve.server` — stdlib ``http.server`` JSON API
+  (``POST /localize``, ``GET /healthz``, ``GET /metrics``, ``GET /model``).
+"""
+
+from m3d_fault_loc.serve.cache import LRUResultCache, graph_digest
+from m3d_fault_loc.serve.metrics import MetricsRegistry
+from m3d_fault_loc.serve.registry import ModelManifest, ModelRegistry, ModelRegistryError
+from m3d_fault_loc.serve.service import LocalizationResult, LocalizationService
+from m3d_fault_loc.serve.server import create_server
+
+__all__ = [
+    "LRUResultCache",
+    "LocalizationResult",
+    "LocalizationService",
+    "MetricsRegistry",
+    "ModelManifest",
+    "ModelRegistry",
+    "ModelRegistryError",
+    "create_server",
+    "graph_digest",
+]

@@ -1,0 +1,198 @@
+"""Serving metrics: counters, gauges, and latency histograms.
+
+A deliberately tiny, dependency-free subset of the Prometheus client model:
+instruments are registered by name on a :class:`MetricsRegistry`, updated
+with per-instrument locks, and exported two ways — ``to_json_dict()`` for
+programmatic consumers and ``render_prometheus()`` for scrapers (text
+exposition format, cumulative histogram buckets with ``+Inf``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+#: Default latency buckets in seconds (sub-ms to multi-second tail).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Default buckets for batch-size style small-integer histograms.
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number formatting (integers without a dot)."""
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"type": self.kind, "help": self.help_text, "value": self.value}
+
+    def render_prometheus(self) -> list[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+
+class Gauge:
+    """Point-in-time value (queue depth, cache size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"type": self.kind, "help": self.help_text, "value": self.value}
+
+    def render_prometheus(self) -> list[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum and count (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, buckets: tuple[float, ...]):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name} needs sorted, non-empty buckets")
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(float(b) for b in buckets)
+        self._bucket_counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    break
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict[str, Any]:
+        """Cumulative bucket counts keyed by upper bound, plus sum/count."""
+        with self._lock:
+            cumulative = 0
+            buckets: dict[str, int] = {}
+            for bound, n in zip(self.buckets, self._bucket_counts, strict=True):
+                cumulative += n
+                buckets[_fmt(bound)] = cumulative
+            buckets["+Inf"] = self._count
+            return {"buckets": buckets, "sum": self._sum, "count": self._count}
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"type": self.kind, "help": self.help_text, **self.snapshot()}
+
+    def render_prometheus(self) -> list[str]:
+        snap = self.snapshot()
+        lines = [
+            f'{self.name}_bucket{{le="{bound}"}} {count}'
+            for bound, count in snap["buckets"].items()
+        ]
+        lines.append(f"{self.name}_sum {_fmt(snap['sum'])}")
+        lines.append(f"{self.name}_count {snap['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named instrument registry with JSON and Prometheus-text export.
+
+    Registration is idempotent per name — asking for an existing instrument
+    returns it — but re-registering a name as a different instrument kind is
+    a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, name: str, factory, kind: str):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}, not {kind}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._register(name, lambda: Counter(name, help_text), "counter")
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._register(name, lambda: Gauge(name, help_text), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(name, lambda: Histogram(name, help_text, buckets), "histogram")
+
+    def to_json_dict(self) -> dict[str, Any]:
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: inst.to_json_dict() for name, inst in sorted(instruments.items())}
+
+    def render_prometheus(self) -> str:
+        with self._lock:
+            instruments = dict(self._instruments)
+        lines: list[str] = []
+        for name, inst in sorted(instruments.items()):
+            if inst.help_text:
+                lines.append(f"# HELP {name} {inst.help_text}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+            lines.extend(inst.render_prometheus())
+        return "\n".join(lines) + "\n"

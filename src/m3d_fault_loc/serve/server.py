@@ -1,0 +1,177 @@
+"""Stdlib JSON API over :class:`LocalizationService`.
+
+Endpoints:
+
+- ``POST /localize`` — body ``{"graph": <CircuitGraph JSON dict>, "top_k": 5}``;
+  ``200`` with the ranked localization, ``400`` on malformed payloads,
+  ``422`` with the m3dlint findings when the contract gate rejects the graph,
+  ``504`` when the request times out in the batch queue.
+- ``GET /healthz`` — liveness plus the active model identity.
+- ``GET /metrics`` — Prometheus text by default, JSON with ``?format=json``.
+- ``GET /model`` — active model manifest + cache statistics.
+
+Built on ``ThreadingHTTPServer`` so each connection blocks on its own future
+while the service worker micro-batches across connections — concurrency
+without any dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from m3d_fault_loc.data.dataset import GraphContractError
+from m3d_fault_loc.graph.schema import CircuitGraph
+from m3d_fault_loc.serve.service import LocalizationService
+
+logger = logging.getLogger(__name__)
+
+#: Request bodies above this size are refused outright (413).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+DEFAULT_TOP_K = 5
+
+
+class _BadRequest(ValueError):
+    """Client payload error; message is safe to echo back."""
+
+
+class LocalizationHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server that owns a running :class:`LocalizationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: LocalizationService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "m3d-serve/0.1"
+    protocol_version = "HTTP/1.1"
+    server: LocalizationHTTPServer
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _BadRequest("request body required (Content-Length missing or zero)")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(f"request body too large ({length} > {MAX_BODY_BYTES} bytes)")
+        return self.rfile.read(length)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            info = self.server.service.describe_model()
+            self._send_json(
+                200,
+                {"status": "ok", "model": {"name": info["name"], "version": info["version"]}},
+            )
+        elif url.path == "/metrics":
+            fmt = parse_qs(url.query).get("format", ["prometheus"])[0]
+            if fmt == "json":
+                self._send_json(200, self.server.service.metrics.to_json_dict())
+            else:
+                self._send_text(
+                    200,
+                    self.server.service.metrics.render_prometheus(),
+                    "text/plain; version=0.0.4",
+                )
+        elif url.path == "/model":
+            self._send_json(
+                200,
+                {
+                    "model": self.server.service.describe_model(),
+                    "cache": self.server.service.cache_stats(),
+                },
+            )
+        else:
+            self._send_json(404, {"error": "not_found", "path": url.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if urlparse(self.path).path != "/localize":
+            self._send_json(404, {"error": "not_found", "path": self.path})
+            return
+        try:
+            graph, top_k = self._parse_localize_payload(self._read_body())
+        except _BadRequest as exc:
+            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
+            return
+        try:
+            result = self.server.service.localize(graph, top_k=top_k)
+        except GraphContractError as exc:
+            self._send_json(
+                422,
+                {
+                    "error": "contract_violation",
+                    "graph": exc.graph_name,
+                    "violations": [v.to_json_dict() for v in exc.violations],
+                },
+            )
+            return
+        except FutureTimeoutError:
+            self._send_json(504, {"error": "timeout", "detail": "localization timed out"})
+            return
+        except Exception:
+            logger.exception("localization failed")
+            self._send_json(500, {"error": "internal", "detail": "localization failed"})
+            return
+        self._send_json(200, result.to_json_dict())
+
+    @staticmethod
+    def _parse_localize_payload(body: bytes) -> tuple[CircuitGraph, int]:
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "graph" not in payload:
+            raise _BadRequest('payload must be an object with a "graph" field')
+        top_k = payload.get("top_k", DEFAULT_TOP_K)
+        if not isinstance(top_k, int) or top_k < 1:
+            raise _BadRequest(f'"top_k" must be a positive integer, got {top_k!r}')
+        try:
+            graph = CircuitGraph.from_json_dict(payload["graph"])
+        except Exception as exc:
+            raise _BadRequest(f"unreadable graph payload: {type(exc).__name__}: {exc}") from exc
+        return graph, top_k
+
+
+def create_server(
+    service: LocalizationService, host: str = "127.0.0.1", port: int = 0
+) -> LocalizationHTTPServer:
+    """Bind the API (``port=0`` picks an ephemeral port) and start the
+    service worker; call ``serve_forever()`` on the result to run."""
+    server = LocalizationHTTPServer((host, port), service)
+    service.start()
+    return server

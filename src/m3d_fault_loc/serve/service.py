@@ -1,0 +1,342 @@
+"""Micro-batched localization service with contract gating and hot reload.
+
+Request path: callers (one per HTTP connection thread) gate their graph
+through the m3dlint contract engine — ERROR findings raise
+:class:`~m3d_fault_loc.data.dataset.GraphContractError` and never reach the
+model — then look up the content-hash cache and, on a miss, enqueue the
+graph on a thread-safe queue. A single worker thread drains the queue into
+micro-batches (up to ``max_batch`` graphs or ``batch_window_s`` of waiting,
+whichever first), runs one stacked ``node_scores_batch`` forward pass, and
+resolves the per-request futures.
+
+The registry's activation pointer is polled at request entry and between
+batches: swapping ``ACTIVE`` in the registry hot-reloads the model without
+dropping requests. Cache keys are prefixed with the model fingerprint and the
+reload check runs before the cache lookup, so results computed by a previous
+model are unreachable after a reload (the cache is also cleared to free the
+memory).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from m3d_fault_loc.analysis.engine import RuleEngine, default_engine
+from m3d_fault_loc.data.dataset import GraphContractError, gate_graph
+from m3d_fault_loc.graph.schema import CircuitGraph
+from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.serve.cache import LRUResultCache, graph_digest
+from m3d_fault_loc.serve.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from m3d_fault_loc.serve.registry import ModelManifest, ModelRegistry
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """One served localization: ranked fault-origin candidates + provenance."""
+
+    graph_name: str
+    digest: str
+    model_name: str
+    model_version: str
+    num_nodes: int
+    top: tuple[dict[str, Any], ...]
+    warnings: tuple[str, ...]
+    cached: bool = False
+    latency_s: float = 0.0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "graph": self.graph_name,
+            "digest": self.digest,
+            "model": {"name": self.model_name, "version": self.model_version},
+            "num_nodes": self.num_nodes,
+            "top": [dict(entry) for entry in self.top],
+            "warnings": list(self.warnings),
+            "cached": self.cached,
+            "latency_ms": round(self.latency_s * 1e3, 3),
+        }
+
+
+@dataclass
+class _Pending:
+    graph: CircuitGraph
+    digest: str
+    top_k: int
+    warnings: tuple[str, ...]
+    future: Future = field(default_factory=Future)
+
+
+class LocalizationService:
+    """Thread-safe, micro-batched front end over :class:`DelayFaultLocalizer`.
+
+    Exactly one of ``model`` (fixed ad-hoc artifact) or ``registry``
+    (versioned artifacts + hot reload of the active version) must be given.
+    """
+
+    def __init__(
+        self,
+        model: DelayFaultLocalizer | None = None,
+        registry: ModelRegistry | None = None,
+        engine: RuleEngine | None = None,
+        cache_size: int = 1024,
+        max_batch: int = 16,
+        batch_window_s: float = 0.005,
+        request_timeout_s: float = 30.0,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if (model is None) == (registry is None):
+            raise ValueError("pass exactly one of model= or registry=")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.registry = registry
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.request_timeout_s = request_timeout_s
+        self._engine = engine or default_engine()
+        self._cache = LRUResultCache(capacity=cache_size)
+        self._queue: queue.Queue[_Pending | None] = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._start_lock = threading.Lock()
+        self._reload_lock = threading.Lock()
+        self._closed = False
+
+        self.metrics = metrics or MetricsRegistry()
+        m = self.metrics
+        self.m_requests = m.counter("m3d_requests_total", "localization requests received")
+        self.m_cache_hits = m.counter(
+            "m3d_cache_hits_total", "requests served from the result cache"
+        )
+        self.m_rejections = m.counter(
+            "m3d_contract_rejections_total", "requests rejected by the m3dlint contract gate"
+        )
+        self.m_errors = m.counter("m3d_request_errors_total", "requests failed inside the worker")
+        self.m_forward_passes = m.counter(
+            "m3d_forward_passes_total", "micro-batched model forward passes executed"
+        )
+        self.m_graphs = m.counter("m3d_graphs_localized_total", "graphs run through the model")
+        self.m_reloads = m.counter("m3d_model_reloads_total", "hot reloads of the active model")
+        self.m_queue_depth = m.gauge("m3d_queue_depth", "requests waiting in the batch queue")
+        self.m_batch_size = m.histogram(
+            "m3d_batch_size", "graphs per forward pass", buckets=DEFAULT_SIZE_BUCKETS
+        )
+        self.m_latency = m.histogram(
+            "m3d_request_latency_seconds", "end-to-end localization latency"
+        )
+
+        if registry is not None:
+            loaded, manifest = registry.load_active()
+            self._active_ref: tuple[str, str] | None = (manifest.name, manifest.version)
+            self._install_model(loaded, manifest)
+        else:
+            assert model is not None
+            self._active_ref = None
+            self._install_model(model, None)
+
+    # -- model identity ----------------------------------------------------
+
+    def _install_model(self, model: DelayFaultLocalizer, manifest: ModelManifest | None) -> None:
+        if manifest is not None:
+            info = {"source": "registry", **manifest.to_json_dict()}
+            prefix = manifest.sha256
+        else:
+            fingerprint = model.fingerprint()
+            info = {
+                "source": "adhoc",
+                "name": "adhoc",
+                "version": fingerprint[:12],
+                "sha256": fingerprint,
+                "in_dim": model.in_dim,
+                "hidden": model.hidden,
+                "metadata": dict(model.artifact_meta),
+            }
+            prefix = fingerprint
+        # Single-attribute swap keeps (model, info, cache prefix) consistent
+        # for readers on other threads without a lock.
+        self._model_state: tuple[DelayFaultLocalizer, dict[str, Any], str] = (model, info, prefix)
+
+    def describe_model(self) -> dict[str, Any]:
+        """Identity of the model currently answering requests (``/model``)."""
+        return dict(self._model_state[1])
+
+    def cache_stats(self) -> dict[str, int]:
+        return self._cache.stats()
+
+    def _maybe_reload(self) -> None:
+        """Swap in the registry's active model if the pointer moved.
+
+        Runs at request entry (before the cache lookup, so a swap can never
+        serve a previous model's cached answer) and again in the worker
+        between batches. ``active_ref`` is one small-file read — cheap enough
+        to poll per request.
+        """
+        if self.registry is None:
+            return
+        ref = self.registry.active_ref()
+        if ref is None or ref == self._active_ref:
+            return
+        with self._reload_lock:
+            if ref == self._active_ref:
+                return
+            model, manifest = self.registry.load(*ref)
+            self._install_model(model, manifest)
+            self._active_ref = ref
+            self._cache.clear()
+            self.m_reloads.inc()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        with self._start_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._worker_loop, name="m3d-localize-worker", daemon=True
+                )
+                self._worker.start()
+
+    def close(self) -> None:
+        with self._start_lock:
+            if self._closed:
+                return
+            self._closed = True
+            worker = self._worker
+        if worker is not None:
+            self._queue.put(None)
+            worker.join(timeout=5.0)
+
+    def __enter__(self) -> LocalizationService:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request path ------------------------------------------------------
+
+    def localize(self, graph: CircuitGraph, top_k: int = 5) -> LocalizationResult:
+        """Gate, cache-check, and (on a miss) batch one graph through the model.
+
+        Raises :class:`~m3d_fault_loc.data.dataset.GraphContractError` when
+        the contract gate finds ERROR-severity violations — a structured
+        rejection is always preferable to localizing a malformed graph.
+        """
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self.start()
+        started = time.perf_counter()
+        self.m_requests.inc()
+        try:
+            warnings = gate_graph(graph, self._engine)
+        except GraphContractError:
+            self.m_rejections.inc()
+            raise
+        self._maybe_reload()
+        digest = graph_digest(graph)
+        _, _, prefix = self._model_state
+        key = f"{prefix}:{top_k}:{digest}"
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.m_cache_hits.inc()
+            latency = time.perf_counter() - started
+            self.m_latency.observe(latency)
+            return replace(hit, cached=True, latency_s=latency)
+
+        pending = _Pending(
+            graph=graph,
+            digest=digest,
+            top_k=top_k,
+            warnings=tuple(v.render() for v in warnings),
+        )
+        self._queue.put(pending)
+        self.m_queue_depth.set(self._queue.qsize())
+        try:
+            result: LocalizationResult = pending.future.result(timeout=self.request_timeout_s)
+        except Exception:
+            self.m_errors.inc()
+            raise
+        latency = time.perf_counter() - started
+        self.m_latency.observe(latency)
+        return replace(result, latency_s=latency)
+
+    # -- worker ------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            deadline = time.monotonic() + self.batch_window_s
+            stopping = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    stopping = True
+                    break
+                batch.append(nxt)
+            self.m_queue_depth.set(self._queue.qsize())
+            self._maybe_reload()
+            self._run_batch(batch)
+            if stopping:
+                return
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        model, info, prefix = self._model_state
+        try:
+            scores_per_graph = model.node_scores_batch([p.graph for p in batch])
+        except Exception as exc:
+            for p in batch:
+                p.future.set_exception(exc)
+            return
+        self.m_forward_passes.inc()
+        self.m_batch_size.observe(len(batch))
+        self.m_graphs.inc(len(batch))
+        for p, scores in zip(batch, scores_per_graph, strict=True):
+            result = self._build_result(p, scores, info)
+            self._cache.put(f"{prefix}:{p.top_k}:{p.digest}", result)
+            p.future.set_result(result)
+
+    @staticmethod
+    def _build_result(
+        pending: _Pending, scores: np.ndarray, info: dict[str, Any]
+    ) -> LocalizationResult:
+        graph = pending.graph
+        order = np.argsort(scores)[::-1][: pending.top_k]
+        shifted = scores - scores.max()
+        probs = np.exp(shifted)
+        probs /= probs.sum()
+        top = tuple(
+            {
+                "index": int(i),
+                "node": graph.node_names[int(i)],
+                "tier": int(graph.tier[int(i)]),
+                "score": float(scores[int(i)]),
+                "prob": float(probs[int(i)]),
+            }
+            for i in order
+        )
+        return LocalizationResult(
+            graph_name=graph.name,
+            digest=pending.digest,
+            model_name=str(info["name"]),
+            model_version=str(info["version"]),
+            num_nodes=graph.num_nodes,
+            top=top,
+            warnings=pending.warnings,
+        )

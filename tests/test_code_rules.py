@@ -133,3 +133,39 @@ def test_locations_carry_path_and_line():
     src = "import random\nrandom.seed(3)\n"
     (finding,) = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D203"]
     assert finding.location == f"{FAKE}:2"
+
+
+# -- M3D205 unbounded module-level dict caches -----------------------------
+
+
+def test_module_level_dict_cache_warns_outside_serve():
+    src = "_RESULT_CACHE = {}\n"
+    violations = lint_source(src, FAKE)
+    assert [v.rule_id for v in violations] == ["M3D205"]
+    assert violations[0].severity is Severity.WARNING
+
+
+def test_module_level_dict_cache_is_error_inside_serve():
+    serve_path = Path("src/m3d_fault_loc/serve/handlers.py")
+    for src in ("_cache = {}\n", "MEMO = dict()\n", "score_cache: dict = {}\n"):
+        violations = lint_source(src, serve_path)
+        assert [v.rule_id for v in violations] == ["M3D205"], src
+        assert violations[0].severity is Severity.ERROR, src
+
+
+def test_bounded_or_non_cache_bindings_clean():
+    clean = (
+        "_cache = LRUResultCache(capacity=64)\n"  # bounded structure
+        "settings = {}\n"  # dict, but not cache-named
+        "def lookup(cache):\n"
+        "    local_cache = {}\n"  # function-local, not module-level
+        "    return cache, local_cache\n"
+    )
+    assert "M3D205" not in fired(clean)
+
+
+def test_serve_sources_pass_their_own_rule():
+    serve_dir = Path(__file__).resolve().parents[1] / "src" / "m3d_fault_loc" / "serve"
+    for source_file in sorted(serve_dir.glob("*.py")):
+        violations = lint_source(source_file.read_text(), source_file)
+        assert not [v for v in violations if v.rule_id == "M3D205"], source_file

@@ -60,3 +60,31 @@ def test_split_partitions_dataset():
     train, test = ds.split(rng, test_fraction=0.3)
     assert len(train) + len(test) == 10
     assert len(test) == 3
+
+
+def test_split_refuses_empty_train_split():
+    """A len-1 dataset would put its only graph in test; raise instead."""
+    rng = np.random.default_rng(3)
+    ds = CircuitGraphDataset.from_graphs([make_clean_graph()])
+    with pytest.raises(ValueError, match="train split would be empty"):
+        ds.split(rng, test_fraction=0.2)
+
+
+def test_split_smallest_viable_dataset_keeps_one_per_side():
+    rng = np.random.default_rng(3)
+    ds = CircuitGraphDataset.from_graphs([make_clean_graph(), make_clean_graph()])
+    train, test = ds.split(rng, test_fraction=0.5)
+    assert len(train) == 1 and len(test) == 1
+
+
+def test_gate_graph_single_graph_fast_path():
+    """The serving layer's per-request gate has dataset-gate semantics."""
+    from m3d_fault_loc.data.dataset import gate_graph
+
+    assert gate_graph(make_clean_graph()) == []
+    engine = default_engine(RuleConfig(max_fanout=2))
+    warnings = gate_graph(make_high_fanout_graph(n_sinks=4), engine)
+    assert any(v.rule_id == "M3D108" for v in warnings)
+    with pytest.raises(GraphContractError) as exc_info:
+        gate_graph(make_bad_dtype_graph())
+    assert any(v.rule_id == "M3D106" for v in exc_info.value.violations)

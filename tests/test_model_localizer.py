@@ -62,13 +62,53 @@ def test_unlabeled_graph_rejected_for_training(dataset):
         DelayFaultLocalizer(hidden=8).loss_and_grads(stripped)
 
 
-def test_save_load_roundtrip(tmp_path, dataset):
+@pytest.mark.parametrize(
+    ("requested", "written"),
+    [
+        ("model.npz", "model.npz"),  # canonical suffix kept as-is
+        ("model", "model.npz"),  # suffix-less gets .npz appended
+        ("model.bin", "model.bin.npz"),  # foreign suffix preserved, .npz appended
+    ],
+)
+def test_save_load_roundtrip(tmp_path, dataset, requested, written):
     model = DelayFaultLocalizer(hidden=8, seed=5)
-    path = model.save(tmp_path / "model.npz")
+    path = model.save(tmp_path / requested)
+    assert path == tmp_path / written
+    assert path.exists()
+    assert sorted(p.name for p in tmp_path.iterdir()) == [written]
     reloaded = DelayFaultLocalizer.load(path)
     graph = dataset[0]
     assert np.allclose(model.node_scores(graph), reloaded.node_scores(graph))
     assert reloaded.hidden == 8
+
+
+def test_save_load_carries_artifact_metadata(tmp_path):
+    model = DelayFaultLocalizer(hidden=8, seed=5)
+    path = model.save(tmp_path / "model.npz", metadata={"epochs": 12, "note": "unit"})
+    reloaded = DelayFaultLocalizer.load(path)
+    assert reloaded.artifact_meta == {"epochs": 12, "note": "unit"}
+
+
+def test_batch_inference_matches_per_graph_exactly(dataset):
+    """predict_batch / node_scores_batch are the same floats, not approximations."""
+    model = DelayFaultLocalizer(hidden=16, seed=7)
+    graphs = [dataset[i] for i in range(6)]
+    batched = model.node_scores_batch(graphs)
+    assert len(batched) == len(graphs)
+    for graph, scores in zip(graphs, batched, strict=True):
+        assert scores.shape == (graph.num_nodes,)
+        assert np.array_equal(scores, model.node_scores(graph))
+    assert model.predict_batch(graphs) == [model.predict(g) for g in graphs]
+    assert model.predict_batch([]) == []
+
+
+def test_batch_inference_matches_on_fixture_graphs():
+    from fixture_graphs import make_clean_graph, make_high_fanout_graph
+
+    model = DelayFaultLocalizer(hidden=8, seed=1)
+    graphs = [make_clean_graph(), make_high_fanout_graph(n_sinks=4), make_clean_graph(3)]
+    for graph, scores in zip(graphs, model.node_scores_batch(graphs), strict=True):
+        assert np.array_equal(scores, model.node_scores(graph))
 
 
 def test_same_seed_same_init():

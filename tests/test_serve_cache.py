@@ -1,0 +1,75 @@
+"""Content-hash digest canonicality and LRU cache bounds/thread-safety."""
+
+import threading
+
+import numpy as np
+
+from fixture_graphs import make_clean_graph
+from m3d_fault_loc.serve.cache import LRUResultCache, graph_digest
+
+
+def test_digest_ignores_presentation_fields():
+    a, b = make_clean_graph(), make_clean_graph()
+    b.name = "renamed"
+    b.meta = {"source": "elsewhere"}
+    b.fault_index = None
+    assert graph_digest(a) == graph_digest(b)
+
+
+def test_digest_changes_with_any_model_visible_array():
+    base = graph_digest(make_clean_graph())
+    perturbed = make_clean_graph()
+    perturbed.x = perturbed.x.copy()
+    perturbed.x[0, 0] += 1.0
+    assert graph_digest(perturbed) != base
+
+    retyped = make_clean_graph()
+    retyped.edge_type = retyped.edge_type.copy()
+    retyped.edge_type[0] = 1 - retyped.edge_type[0]
+    assert graph_digest(retyped) != base
+
+
+def test_digest_sensitive_to_dtype_not_just_values():
+    cast = make_clean_graph()
+    cast.x = cast.x.astype(np.float64)
+    assert graph_digest(cast) != graph_digest(make_clean_graph())
+
+
+def test_lru_evicts_least_recently_used():
+    cache = LRUResultCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+
+
+def test_stats_and_clear():
+    cache = LRUResultCache(capacity=4)
+    cache.put("k", "v")
+    cache.get("k")
+    cache.get("absent")
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats()["hits"] == 1  # stats survive a clear
+
+
+def test_concurrent_puts_stay_bounded():
+    cache = LRUResultCache(capacity=8)
+
+    def hammer(worker: int) -> None:
+        for i in range(200):
+            cache.put(f"{worker}:{i}", i)
+            cache.get(f"{worker}:{i}")
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(cache) <= 8

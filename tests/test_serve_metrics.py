@@ -1,0 +1,62 @@
+"""Metrics instruments: semantics, registry idempotence, both export formats."""
+
+import pytest
+
+from m3d_fault_loc.serve.metrics import MetricsRegistry
+
+
+def test_counter_monotonic():
+    m = MetricsRegistry()
+    c = m.counter("m3d_test_total", "things")
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_gauge_sets_point_in_time():
+    g = MetricsRegistry().gauge("m3d_depth")
+    g.set(7)
+    g.set(2)
+    assert g.value == 2
+
+
+def test_histogram_buckets_are_cumulative():
+    h = MetricsRegistry().histogram("m3d_lat", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["buckets"] == {"0.01": 1, "0.1": 2, "1": 3, "+Inf": 4}
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(5.555)
+
+
+def test_registration_idempotent_but_kind_checked():
+    m = MetricsRegistry()
+    assert m.counter("m3d_x") is m.counter("m3d_x")
+    with pytest.raises(ValueError, match="already registered"):
+        m.gauge("m3d_x")
+
+
+def test_prometheus_rendering():
+    m = MetricsRegistry()
+    m.counter("m3d_reqs_total", "requests").inc(2)
+    m.histogram("m3d_lat_seconds", "latency", buckets=(0.1, 1.0)).observe(0.05)
+    text = m.render_prometheus()
+    assert "# HELP m3d_reqs_total requests" in text
+    assert "# TYPE m3d_reqs_total counter" in text
+    assert "m3d_reqs_total 2" in text
+    assert 'm3d_lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'm3d_lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "m3d_lat_seconds_count 1" in text
+
+
+def test_json_export_shape():
+    m = MetricsRegistry()
+    m.counter("m3d_a_total").inc()
+    m.histogram("m3d_b", buckets=(1.0,)).observe(0.5)
+    payload = m.to_json_dict()
+    assert payload["m3d_a_total"] == {"type": "counter", "help": "", "value": 1}
+    assert payload["m3d_b"]["type"] == "histogram"
+    assert payload["m3d_b"]["buckets"]["+Inf"] == 1

@@ -1,0 +1,77 @@
+"""Model registry: versioning, checksums, atomic activation, tamper refusal."""
+
+import numpy as np
+import pytest
+
+from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.serve.registry import ModelRegistry, ModelRegistryError
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+def test_publish_assigns_sequential_versions(registry):
+    m1 = registry.publish(DelayFaultLocalizer(hidden=4, seed=0))
+    m2 = registry.publish(DelayFaultLocalizer(hidden=4, seed=1))
+    assert (m1.version, m2.version) == ("v0001", "v0002")
+    assert registry.list_versions("localizer") == ["v0001", "v0002"]
+    assert registry.list_models() == ["localizer"]
+
+
+def test_publish_activates_latest_by_default(registry):
+    registry.publish(DelayFaultLocalizer(hidden=4, seed=0))
+    manifest = registry.publish(DelayFaultLocalizer(hidden=4, seed=1))
+    assert registry.active_ref() == ("localizer", manifest.version)
+
+
+def test_duplicate_version_refused(registry):
+    registry.publish(DelayFaultLocalizer(hidden=4), version="v1")
+    with pytest.raises(ModelRegistryError, match="already published"):
+        registry.publish(DelayFaultLocalizer(hidden=4), version="v1")
+
+
+def test_path_traversal_components_refused(registry):
+    with pytest.raises(ModelRegistryError, match="invalid"):
+        registry.publish(DelayFaultLocalizer(hidden=4), name="../evil")
+    with pytest.raises(ModelRegistryError, match="invalid"):
+        registry.publish(DelayFaultLocalizer(hidden=4), version="a/b")
+
+
+def test_load_active_roundtrips_weights_and_metadata(registry):
+    model = DelayFaultLocalizer(hidden=4, seed=3)
+    registry.publish(model, metadata={"trained_on": "synthetic"})
+    loaded, manifest = registry.load_active()
+    for key in model.params:
+        assert np.array_equal(loaded.params[key], model.params[key])
+    assert manifest.metadata == {"trained_on": "synthetic"}
+    assert loaded.artifact_meta == {"trained_on": "synthetic"}
+    assert manifest.in_dim == model.in_dim and manifest.hidden == 4
+
+
+def test_tampered_artifact_refused(registry):
+    manifest = registry.publish(DelayFaultLocalizer(hidden=4))
+    artifact = registry.root / "models" / manifest.name / manifest.version / "model.npz"
+    artifact.write_bytes(artifact.read_bytes() + b"corruption")
+    with pytest.raises(ModelRegistryError, match="checksum mismatch"):
+        registry.load_active()
+
+
+def test_activate_requires_existing_verified_version(registry):
+    with pytest.raises(ModelRegistryError, match="no such model version"):
+        registry.activate("localizer", "v9999")
+
+
+def test_active_ref_none_before_first_activation(registry):
+    assert registry.active_ref() is None
+    with pytest.raises(ModelRegistryError, match="no active model"):
+        registry.load_active()
+
+
+def test_activation_can_roll_back(registry):
+    first = registry.publish(DelayFaultLocalizer(hidden=4, seed=0))
+    registry.publish(DelayFaultLocalizer(hidden=4, seed=1))
+    registry.activate(first.name, first.version)
+    _, manifest = registry.load_active()
+    assert manifest.version == first.version

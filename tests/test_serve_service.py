@@ -1,0 +1,134 @@
+"""LocalizationService: gating, micro-batching, caching, hot reload."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from fixture_graphs import make_bad_dtype_graph, make_high_fanout_graph
+from m3d_fault_loc.analysis.engine import RuleConfig, default_engine
+from m3d_fault_loc.data.dataset import GraphContractError
+from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
+from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.serve.registry import ModelRegistry
+from m3d_fault_loc.serve.service import LocalizationService
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    rng = np.random.default_rng(5)
+    return synthesize_fault_dataset(rng, n_graphs=8, n_gates=12, n_inputs=3)
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("model", DelayFaultLocalizer(hidden=8, seed=2))
+    kwargs.setdefault("batch_window_s", 0.001)
+    return LocalizationService(**kwargs)
+
+
+def test_requires_exactly_one_model_source():
+    with pytest.raises(ValueError, match="exactly one"):
+        LocalizationService()
+    with pytest.raises(ValueError, match="exactly one"):
+        LocalizationService(
+            model=DelayFaultLocalizer(hidden=4), registry=ModelRegistry("unused")
+        )
+
+
+def test_result_matches_direct_model_call(graphs):
+    model = DelayFaultLocalizer(hidden=8, seed=2)
+    with make_service(model=model) as service:
+        result = service.localize(graphs[0], top_k=3)
+    scores = model.node_scores(graphs[0])
+    expected = np.argsort(scores)[::-1][:3]
+    assert [entry["index"] for entry in result.top] == [int(i) for i in expected]
+    assert result.num_nodes == graphs[0].num_nodes
+    assert result.latency_s > 0
+    payload = result.to_json_dict()
+    assert payload["model"]["name"] == "adhoc"
+    assert payload["latency_ms"] > 0
+
+
+def test_repeat_request_hits_cache_without_forward_pass(graphs):
+    with make_service() as service:
+        first = service.localize(graphs[0])
+        passes_after_first = service.m_forward_passes.value
+        second = service.localize(graphs[0])
+        assert first.cached is False
+        assert second.cached is True
+        assert second.top == first.top
+        assert service.m_forward_passes.value == passes_after_first
+        assert service.m_cache_hits.value == 1
+
+
+def test_different_top_k_is_not_a_false_cache_hit(graphs):
+    with make_service() as service:
+        assert len(service.localize(graphs[0], top_k=2).top) == 2
+        wider = service.localize(graphs[0], top_k=4)
+        assert wider.cached is False
+        assert len(wider.top) == 4
+
+
+def test_contract_violation_rejected_and_counted(graphs):
+    with make_service() as service:
+        with pytest.raises(GraphContractError) as exc_info:
+            service.localize(make_bad_dtype_graph())
+        assert any(v.rule_id.startswith("M3D1") for v in exc_info.value.violations)
+        assert service.m_rejections.value == 1
+        assert service.m_forward_passes.value == 0
+
+
+def test_concurrent_requests_are_micro_batched(graphs):
+    service = make_service(batch_window_s=0.05, max_batch=8)
+    results: dict[int, object] = {}
+    with service:
+        # Hold the worker on a first request so the rest pile into its batch.
+        def call(i: int) -> None:
+            results[i] = service.localize(graphs[i])
+
+        threads = [threading.Thread(target=call, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert len(results) == 6
+    assert service.m_graphs.value == 6
+    assert service.m_forward_passes.value <= 3  # batched, not one pass per request
+    assert service.m_batch_size.count == service.m_forward_passes.value
+
+
+def test_clean_graph_warnings_surface_in_result():
+    engine = default_engine(RuleConfig(max_fanout=2))
+    with make_service(engine=engine) as service:
+        result = service.localize(make_high_fanout_graph(n_sinks=4))
+    assert any("M3D108" in w for w in result.warnings)
+
+
+def test_hot_reload_on_registry_activation(tmp_path, graphs):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(DelayFaultLocalizer(hidden=8, seed=0))
+    with make_service(model=None, registry=registry) as service:
+        before = service.localize(graphs[0])
+        assert before.model_version == "v0001"
+
+        registry.publish(DelayFaultLocalizer(hidden=8, seed=99))
+        after = service.localize(graphs[0])
+        assert after.model_version == "v0002"
+        assert after.cached is False  # cache cannot serve the old model's answer
+        assert service.m_reloads.value == 1
+        assert service.describe_model()["version"] == "v0002"
+
+
+def test_close_is_idempotent_and_rejects_new_requests(graphs):
+    service = make_service()
+    service.localize(graphs[0])
+    service.close()
+    service.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        service.localize(graphs[0])
+
+
+def test_localize_validates_top_k(graphs):
+    with make_service() as service:
+        with pytest.raises(ValueError, match="top_k"):
+            service.localize(graphs[0], top_k=0)
