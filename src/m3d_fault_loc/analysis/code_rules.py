@@ -11,7 +11,10 @@ code rather than general style (which ruff covers):
 - **M3D204** bare ``except:`` handlers (escalated to ERROR inside training
   code, where they can swallow OOM/keyboard interrupts mid-epoch),
 - **M3D205** unbounded module-level dict caches (escalated to ERROR inside
-  the serving layer, where they grow with every unique request).
+  the serving layer, where they grow with every unique request),
+- **M3D206** thread-target worker loops without a broad exception guard
+  (escalated to ERROR inside the serving layer, where a silently dead
+  worker strands every queued request).
 """
 
 from __future__ import annotations
@@ -292,6 +295,73 @@ class UnboundedModuleCacheRule(CodeRule):
         return isinstance(value, ast.Call) and _dotted_name(value.func) in cls._DICT_CALLS
 
 
+class UnguardedThreadLoopRule(CodeRule):
+    """A function used as a ``threading.Thread`` target whose loop body has
+    no broad exception guard dies silently on the first unexpected error —
+    in serving code that strands every queued future forever, so it
+    escalates from WARNING to ERROR inside ``serve/`` sources. The guard
+    must catch ``Exception`` (or broader); typed handlers like
+    ``except queue.Empty`` do not count."""
+
+    id = "M3D206"
+    severity = Severity.WARNING
+    description = "thread-target loops need a broad exception guard (ERROR inside serve/ code)"
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        targets = self._thread_target_names(tree)
+        if not targets:
+            return []
+        in_serve = "serve" in path.parts
+        findings: list[Violation] = []
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name not in targets:
+                continue
+            for loop in ast.walk(fn):
+                if isinstance(loop, ast.While) and not self._loop_guarded(loop):
+                    where = " inside serving code" if in_serve else ""
+                    findings.append(
+                        self.violation(
+                            f"thread target '{fn.name}' has a loop without a broad "
+                            f"exception guard{where}; one uncaught error kills the "
+                            "worker thread and strands its queue",
+                            path,
+                            loop.lineno,
+                            Severity.ERROR if in_serve else Severity.WARNING,
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _thread_target_names(tree: ast.Module) -> set[str]:
+        """Base names of every ``target=`` passed to a ``Thread(...)`` call."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _dotted_name(node.func)[-1:] != ("Thread",):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    dotted = _dotted_name(kw.value)
+                    if dotted:
+                        names.add(dotted[-1])
+        return names
+
+    @staticmethod
+    def _loop_guarded(loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    return True
+                if _dotted_name(handler.type)[-1:] in (("Exception",), ("BaseException",)):
+                    return True
+        return False
+
+
 #: Full built-in catalog, in rule-id order.
 BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     MixedDeviceTransferRule,
@@ -299,6 +369,7 @@ BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     AdHocSeedingRule,
     BareExceptRule,
     UnboundedModuleCacheRule,
+    UnguardedThreadLoopRule,
 )
 
 

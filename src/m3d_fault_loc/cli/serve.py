@@ -10,17 +10,25 @@ artifact, ``--registry`` serves the registry's active version and hot-reloads
 whenever the activation pointer changes. ``--port 0`` binds an ephemeral
 port; the chosen address is printed as ``serving on http://host:port`` so
 harnesses (CI smoke, tests) can parse it.
+
+``SIGTERM`` (and ``SIGINT``/Ctrl-C) triggers a graceful drain: admission
+stops (new requests get 503), the listener stops accepting, queued requests
+complete — or fail deterministically — within ``--drain-deadline-s``, and
+the process exits 0. That is the contract a rolling restart relies on.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
+from types import FrameType
 
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
 from m3d_fault_loc.serve.registry import ModelRegistry, ModelRegistryError
-from m3d_fault_loc.serve.server import create_server
+from m3d_fault_loc.serve.server import DEFAULT_MAX_BODY_BYTES, LocalizationHTTPServer, create_server
 from m3d_fault_loc.serve.service import LocalizationService
 
 
@@ -40,7 +48,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="how long the worker waits to fill a batch")
     parser.add_argument("--cache-size", type=int, default=1024,
                         help="result-cache capacity (content-hash LRU entries)")
+    parser.add_argument("--max-queue", type=int, default=256,
+                        help="admission queue bound; beyond it requests are shed (429)")
+    parser.add_argument("--request-timeout-s", type=float, default=30.0,
+                        help="default per-request deadline (504 past it)")
+    parser.add_argument("--max-body-bytes", type=int, default=DEFAULT_MAX_BODY_BYTES,
+                        help="largest accepted request body (413 beyond it)")
+    parser.add_argument("--drain-deadline-s", type=float, default=10.0,
+                        help="graceful-shutdown drain budget on SIGTERM/SIGINT")
     return parser
+
+
+def drain_and_stop(
+    server: LocalizationHTTPServer, service: LocalizationService, drain_deadline_s: float
+) -> None:
+    """The graceful-shutdown sequence (shared by signal handlers and tests).
+
+    Order matters: stop admission first (late requests get a structured
+    503), then stop the accept loop, then drain the queue within the
+    deadline — leftovers are failed deterministically, never stranded.
+    """
+    service.begin_drain()
+    server.shutdown()
+    service.await_drain(drain_deadline_s)
+
+
+def install_signal_handlers(
+    server: LocalizationHTTPServer, service: LocalizationService, drain_deadline_s: float
+) -> None:
+    """Route SIGTERM/SIGINT into one graceful drain (idempotent)."""
+    triggered = threading.Event()
+
+    def handle(signum: int, frame: FrameType | None) -> None:
+        if triggered.is_set():
+            return
+        triggered.set()
+        print(f"received signal {signum}; draining...", flush=True)
+        # A thread, not inline: server.shutdown() must not run on the
+        # serve_forever thread the signal interrupted.
+        threading.Thread(
+            target=drain_and_stop,
+            args=(server, service, drain_deadline_s),
+            name="m3d-serve-drain",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, handle)
+    signal.signal(signal.SIGINT, handle)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,6 +109,9 @@ def main(argv: list[str] | None = None) -> int:
                 max_batch=args.max_batch,
                 batch_window_s=args.batch_window_ms / 1e3,
                 cache_size=args.cache_size,
+                max_queue=args.max_queue,
+                request_timeout_s=args.request_timeout_s,
+                drain_deadline_s=args.drain_deadline_s,
             )
         else:
             service = LocalizationService(
@@ -62,23 +119,29 @@ def main(argv: list[str] | None = None) -> int:
                 max_batch=args.max_batch,
                 batch_window_s=args.batch_window_ms / 1e3,
                 cache_size=args.cache_size,
+                max_queue=args.max_queue,
+                request_timeout_s=args.request_timeout_s,
+                drain_deadline_s=args.drain_deadline_s,
             )
     except ModelRegistryError as exc:
         print(f"registry error: {exc}", file=sys.stderr)
         return 2
 
-    server = create_server(service, host=args.host, port=args.port)
+    server = create_server(
+        service, host=args.host, port=args.port, max_body_bytes=args.max_body_bytes
+    )
+    install_signal_handlers(server, service, args.drain_deadline_s)
     info = service.describe_model()
     print(f"model: {info['name']}/{info['version']} (sha256 {info['sha256'][:12]}…)", flush=True)
     print(f"serving on http://{args.host}:{server.port}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        drain_and_stop(server, service, args.drain_deadline_s)
     finally:
-        server.shutdown()
         server.server_close()
         service.close()
+    print("drained; exiting", flush=True)
     return 0
 
 

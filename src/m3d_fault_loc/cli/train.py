@@ -21,7 +21,7 @@ import numpy as np
 from m3d_fault_loc.data.dataset import CircuitGraphDataset, GraphContractError
 from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
-from m3d_fault_loc.model.optim import Adam
+from m3d_fault_loc.model.optim import Adam, NonFiniteLossError, clip_by_global_norm
 from m3d_fault_loc.utils.seed import seed_everything
 
 
@@ -41,9 +41,17 @@ def train(
     lr: float = 1e-2,
     hidden: int = 32,
     seed: int = 0,
+    clip_norm: float | None = None,
     log=print,
 ) -> DelayFaultLocalizer:
-    """Full-batch-per-graph training with minibatch gradient accumulation."""
+    """Full-batch-per-graph training with minibatch gradient accumulation.
+
+    A NaN/inf loss raises :class:`NonFiniteLossError` immediately — a model
+    trained past that point is garbage, and saving it would poison every
+    downstream registry/serving step. ``clip_norm`` (optional) clips each
+    accumulated minibatch gradient to that global L2 norm before the
+    optimizer step.
+    """
     model = DelayFaultLocalizer(hidden=hidden, seed=seed)
     optimizer = Adam(model.params, lr=lr)
     for epoch in range(epochs):
@@ -54,9 +62,16 @@ def train(
             grads = {k: np.zeros_like(v) for k, v in model.params.items()}
             for i in batch:
                 loss, g = model.loss_and_grads(dataset[int(i)])
+                if not np.isfinite(loss):
+                    raise NonFiniteLossError(
+                        f"non-finite loss {loss!r} at epoch {epoch}, graph index {int(i)} "
+                        f"({dataset[int(i)].name}); lower --lr or pass --clip-norm"
+                    )
                 total_loss += loss
                 for k in grads:
                     grads[k] += g[k] / len(batch)
+            if clip_norm is not None:
+                clip_by_global_norm(grads, clip_norm)
             optimizer.step(grads)
         if log is not None and (epoch == epochs - 1 or epoch % 5 == 0):
             acc = localization_accuracy(model, dataset)
@@ -84,6 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epochs", type=int, default=30)
     parser.add_argument("--batch-size", type=int, default=8)
     parser.add_argument("--lr", type=float, default=1e-2)
+    parser.add_argument("--clip-norm", type=float, default=None,
+                        help="clip accumulated gradients to this global L2 norm")
     parser.add_argument("--hidden", type=int, default=32)
     parser.add_argument("--test-fraction", type=_fraction, default=0.2)
     parser.add_argument("--data-dir", type=Path, default=None,
@@ -119,15 +136,20 @@ def main(argv: list[str] | None = None) -> int:
 
     train_set, test_set = dataset.split(rng, test_fraction=args.test_fraction)
     print(f"training on {len(train_set)} graphs, holding out {len(test_set)}")
-    model = train(
-        train_set,
-        rng,
-        epochs=args.epochs,
-        batch_size=args.batch_size,
-        lr=args.lr,
-        hidden=args.hidden,
-        seed=args.seed,
-    )
+    try:
+        model = train(
+            train_set,
+            rng,
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            hidden=args.hidden,
+            seed=args.seed,
+            clip_norm=args.clip_norm,
+        )
+    except NonFiniteLossError as exc:
+        print(f"training aborted: {exc}", file=sys.stderr)
+        return 1
     test_acc = localization_accuracy(model, test_set)
     print(f"held-out localization accuracy: {test_acc:.3f}")
     saved = model.save(

@@ -1,8 +1,36 @@
-"""Minimal numpy Adam optimizer for the localizer's parameter dict."""
+"""Minimal numpy Adam optimizer for the localizer's parameter dict,
+plus training-stability helpers (global-norm gradient clipping and the
+non-finite-loss guard exception)."""
 
 from __future__ import annotations
 
 import numpy as np
+
+
+class NonFiniteLossError(RuntimeError):
+    """Training loss went NaN/inf — abort loudly instead of saving a
+    silently-corrupt checkpoint."""
+
+
+def global_grad_norm(grads: dict[str, np.ndarray]) -> float:
+    """L2 norm over every gradient entry, treated as one flat vector."""
+    total = 0.0
+    for g in grads.values():
+        total += float(np.sum(np.square(g)))
+    return float(np.sqrt(total))
+
+
+def clip_by_global_norm(grads: dict[str, np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global L2 norm is at most
+    ``max_norm``; returns the pre-clip norm so callers can log it."""
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = global_grad_norm(grads)
+    if norm > max_norm and np.isfinite(norm):
+        scale = max_norm / norm
+        for g in grads.values():
+            g *= scale
+    return norm
 
 
 class Adam:

@@ -14,6 +14,9 @@ Layers, bottom up:
   thread-safe request queue micro-batching graphs through
   ``DelayFaultLocalizer.predict_batch``, with every request gated by the
   m3dlint contract engine (ERROR findings reject, never a wrong answer).
+- :mod:`m3d_fault_loc.serve.resilience` — deadlines, load shedding,
+  circuit breaker, health state machine, and retry/backoff policies that
+  make every failure mode explicit, bounded, and observable.
 - :mod:`m3d_fault_loc.serve.server` — stdlib ``http.server`` JSON API
   (``POST /localize``, ``GET /healthz``, ``GET /metrics``, ``GET /model``).
 """
@@ -21,17 +24,35 @@ Layers, bottom up:
 from m3d_fault_loc.serve.cache import LRUResultCache, graph_digest
 from m3d_fault_loc.serve.metrics import MetricsRegistry
 from m3d_fault_loc.serve.registry import ModelManifest, ModelRegistry, ModelRegistryError
+from m3d_fault_loc.serve.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
+    HealthMonitor,
+    LoadSheddedError,
+    ServiceDrainingError,
+    WorkerCrashedError,
+)
 from m3d_fault_loc.serve.service import LocalizationResult, LocalizationService
 from m3d_fault_loc.serve.server import create_server
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceededError",
+    "HealthMonitor",
     "LRUResultCache",
+    "LoadSheddedError",
     "LocalizationResult",
     "LocalizationService",
     "MetricsRegistry",
     "ModelManifest",
     "ModelRegistry",
     "ModelRegistryError",
+    "ServiceDrainingError",
+    "WorkerCrashedError",
     "create_server",
     "graph_digest",
 ]

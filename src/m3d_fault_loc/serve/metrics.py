@@ -82,6 +82,53 @@ class Gauge:
         return [f"{self.name} {_fmt(self.value)}"]
 
 
+class StateGauge:
+    """One-hot enum gauge: exactly one of a fixed state set is 1 at a time.
+
+    Renders Prometheus-idiomatically as one ``name{state="..."}`` series per
+    state (TYPE gauge), so dashboards can plot breaker/health transitions
+    without string-valued metrics.
+    """
+
+    kind = "state_gauge"
+    prom_type = "gauge"
+
+    def __init__(self, name: str, help_text: str, states: tuple[str, ...]):
+        if not states or len(set(states)) != len(states):
+            raise ValueError(f"state gauge {name} needs a non-empty, unique state set")
+        self.name = name
+        self.help_text = help_text
+        self.states = tuple(states)
+        self._state = self.states[0]
+        self._lock = threading.Lock()
+
+    def set_state(self, state: str) -> None:
+        if state not in self.states:
+            raise ValueError(f"{self.name}: unknown state {state!r} (have {self.states})")
+        with self._lock:
+            self._state = state
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "help": self.help_text,
+            "state": self.state,
+            "states": list(self.states),
+        }
+
+    def render_prometheus(self) -> list[str]:
+        current = self.state
+        return [
+            f'{self.name}{{state="{state}"}} {1 if state == current else 0}'
+            for state in self.states
+        ]
+
+
 class Histogram:
     """Cumulative-bucket histogram with sum and count (Prometheus semantics)."""
 
@@ -151,7 +198,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[str, Counter | Gauge | StateGauge | Histogram] = {}
         self._lock = threading.Lock()
 
     def _register(self, name: str, factory, kind: str):
@@ -173,6 +220,11 @@ class MetricsRegistry:
     def gauge(self, name: str, help_text: str = "") -> Gauge:
         return self._register(name, lambda: Gauge(name, help_text), "gauge")
 
+    def state_gauge(
+        self, name: str, help_text: str = "", states: tuple[str, ...] = ()
+    ) -> StateGauge:
+        return self._register(name, lambda: StateGauge(name, help_text, states), "state_gauge")
+
     def histogram(
         self,
         name: str,
@@ -193,6 +245,6 @@ class MetricsRegistry:
         for name, inst in sorted(instruments.items()):
             if inst.help_text:
                 lines.append(f"# HELP {name} {inst.help_text}")
-            lines.append(f"# TYPE {name} {inst.kind}")
+            lines.append(f"# TYPE {name} {getattr(inst, 'prom_type', inst.kind)}")
             lines.extend(inst.render_prometheus())
         return "\n".join(lines) + "\n"

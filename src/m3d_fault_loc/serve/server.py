@@ -2,11 +2,18 @@
 
 Endpoints:
 
-- ``POST /localize`` — body ``{"graph": <CircuitGraph JSON dict>, "top_k": 5}``;
-  ``200`` with the ranked localization, ``400`` on malformed payloads,
-  ``422`` with the m3dlint findings when the contract gate rejects the graph,
-  ``504`` when the request times out in the batch queue.
-- ``GET /healthz`` — liveness plus the active model identity.
+- ``POST /localize`` — body ``{"graph": <CircuitGraph JSON dict>,
+  "top_k": 5, "deadline_ms": 2000}`` (``deadline_ms`` optional, also
+  accepted as an ``X-M3D-Deadline-Ms`` header); ``200`` with the ranked
+  localization, ``400`` on malformed payloads, ``413`` when the body
+  exceeds the configured size limit, ``422`` with the m3dlint findings when
+  the contract gate rejects the graph, ``429`` (+ ``Retry-After``) when the
+  admission queue sheds the request, ``503`` while the circuit breaker is
+  open, the worker just crashed, or the service is draining, and ``504``
+  when the request's deadline elapses.
+- ``GET /healthz`` — the ``ok``/``degraded``/``unhealthy``/``draining``
+  state machine with worker, breaker, and queue detail (HTTP 200 while
+  ``ok``/``degraded``, 503 otherwise).
 - ``GET /metrics`` — Prometheus text by default, JSON with ``?format=json``.
 - ``GET /model`` — active model manifest + cache statistics.
 
@@ -26,18 +33,38 @@ from urllib.parse import parse_qs, urlparse
 
 from m3d_fault_loc.data.dataset import GraphContractError
 from m3d_fault_loc.graph.schema import CircuitGraph
+from m3d_fault_loc.serve.resilience import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    LoadSheddedError,
+    ServiceDrainingError,
+    WorkerCrashedError,
+)
 from m3d_fault_loc.serve.service import LocalizationService
 
 logger = logging.getLogger(__name__)
 
-#: Request bodies above this size are refused outright (413).
-MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Default cap on request bodies; override per server with ``max_body_bytes``.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 
 DEFAULT_TOP_K = 5
+
+#: Health statuses that still answer 200 (serving, possibly at reduced
+#: capacity); anything else is 503 so load balancers rotate traffic away.
+_SERVING_STATUSES = ("ok", "degraded")
 
 
 class _BadRequest(ValueError):
     """Client payload error; message is safe to echo back."""
+
+
+class _PayloadTooLarge(ValueError):
+    """Request body over the configured limit (413, never read)."""
+
+    def __init__(self, length: int, limit: int):
+        self.length = length
+        self.limit = limit
+        super().__init__(f"request body of {length} bytes exceeds the {limit}-byte limit")
 
 
 class LocalizationHTTPServer(ThreadingHTTPServer):
@@ -45,9 +72,17 @@ class LocalizationHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: LocalizationService):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: LocalizationService,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
         super().__init__(address, _Handler)
         self.service = service
+        self.max_body_bytes = max_body_bytes
 
     @property
     def port(self) -> int:
@@ -55,7 +90,7 @@ class LocalizationHTTPServer(ThreadingHTTPServer):
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "m3d-serve/0.1"
+    server_version = "m3d-serve/0.2"
     protocol_version = "HTTP/1.1"
     server: LocalizationHTTPServer
 
@@ -64,11 +99,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -84,20 +123,32 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             raise _BadRequest("request body required (Content-Length missing or zero)")
-        if length > MAX_BODY_BYTES:
-            raise _BadRequest(f"request body too large ({length} > {MAX_BODY_BYTES} bytes)")
+        if length > self.server.max_body_bytes:
+            raise _PayloadTooLarge(length, self.server.max_body_bytes)
         return self.rfile.read(length)
+
+    def _deadline_s(self, payload: dict[str, Any]) -> float | None:
+        """Per-request deadline: ``deadline_ms`` in the body wins over the
+        ``X-M3D-Deadline-Ms`` header; absent means the service default."""
+        raw = payload.get("deadline_ms", self.headers.get("X-M3D-Deadline-Ms"))
+        if raw is None:
+            return None
+        try:
+            deadline_ms = float(raw)
+        except (TypeError, ValueError):
+            raise _BadRequest(f'"deadline_ms" must be a positive number, got {raw!r}') from None
+        if deadline_ms <= 0:
+            raise _BadRequest(f'"deadline_ms" must be a positive number, got {raw!r}')
+        return deadline_ms / 1e3
 
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         url = urlparse(self.path)
         if url.path == "/healthz":
-            info = self.server.service.describe_model()
-            self._send_json(
-                200,
-                {"status": "ok", "model": {"name": info["name"], "version": info["version"]}},
-            )
+            health = self.server.service.health_snapshot()
+            status = 200 if health["status"] in _SERVING_STATUSES else 503
+            self._send_json(status, health)
         elif url.path == "/metrics":
             fmt = parse_qs(url.query).get("format", ["prometheus"])[0]
             if fmt == "json":
@@ -124,12 +175,25 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": "not_found", "path": self.path})
             return
         try:
-            graph, top_k = self._parse_localize_payload(self._read_body())
+            payload = self._parse_json_body(self._read_body())
+            graph, top_k = self._parse_localize_payload(payload)
+            timeout_s = self._deadline_s(payload)
+        except _PayloadTooLarge as exc:
+            self._send_json(
+                413,
+                {
+                    "error": "payload_too_large",
+                    "detail": str(exc),
+                    "limit_bytes": exc.limit,
+                    "got_bytes": exc.length,
+                },
+            )
+            return
         except _BadRequest as exc:
             self._send_json(400, {"error": "bad_request", "detail": str(exc)})
             return
         try:
-            result = self.server.service.localize(graph, top_k=top_k)
+            result = self.server.service.localize(graph, top_k=top_k, timeout_s=timeout_s)
         except GraphContractError as exc:
             self._send_json(
                 422,
@@ -140,8 +204,48 @@ class _Handler(BaseHTTPRequestHandler):
                 },
             )
             return
-        except FutureTimeoutError:
-            self._send_json(504, {"error": "timeout", "detail": "localization timed out"})
+        except LoadSheddedError as exc:
+            self._send_json(
+                429,
+                {
+                    "error": "load_shed",
+                    "detail": str(exc),
+                    "retry_after_s": exc.retry_after_s,
+                },
+                headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
+            )
+            return
+        except CircuitOpenError as exc:
+            self._send_json(
+                503,
+                {
+                    "error": "circuit_open",
+                    "detail": str(exc),
+                    "retry_after_s": exc.retry_after_s,
+                },
+                headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
+            )
+            return
+        except (DeadlineExceededError, FutureTimeoutError) as exc:
+            deadline_s = getattr(exc, "deadline_s", None)
+            self._send_json(
+                504,
+                {
+                    "error": "deadline_exceeded",
+                    "detail": str(exc) or "localization timed out",
+                    "deadline_ms": None if deadline_s is None else round(deadline_s * 1e3, 3),
+                },
+            )
+            return
+        except WorkerCrashedError as exc:
+            self._send_json(503, {"error": "worker_crashed", "detail": str(exc)})
+            return
+        except (ServiceDrainingError, RuntimeError) as exc:
+            if isinstance(exc, ServiceDrainingError) or "closed" in str(exc):
+                self._send_json(503, {"error": "draining", "detail": str(exc)})
+                return
+            logger.exception("localization failed")
+            self._send_json(500, {"error": "internal", "detail": "localization failed"})
             return
         except Exception:
             logger.exception("localization failed")
@@ -150,13 +254,17 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, result.to_json_dict())
 
     @staticmethod
-    def _parse_localize_payload(body: bytes) -> tuple[CircuitGraph, int]:
+    def _parse_json_body(body: bytes) -> dict[str, Any]:
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as exc:
             raise _BadRequest(f"invalid JSON: {exc}") from exc
         if not isinstance(payload, dict) or "graph" not in payload:
             raise _BadRequest('payload must be an object with a "graph" field')
+        return payload
+
+    @staticmethod
+    def _parse_localize_payload(payload: dict[str, Any]) -> tuple[CircuitGraph, int]:
         top_k = payload.get("top_k", DEFAULT_TOP_K)
         if not isinstance(top_k, int) or top_k < 1:
             raise _BadRequest(f'"top_k" must be a positive integer, got {top_k!r}')
@@ -168,10 +276,13 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def create_server(
-    service: LocalizationService, host: str = "127.0.0.1", port: int = 0
+    service: LocalizationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> LocalizationHTTPServer:
     """Bind the API (``port=0`` picks an ephemeral port) and start the
     service worker; call ``serve_forever()`` on the result to run."""
-    server = LocalizationHTTPServer((host, port), service)
+    server = LocalizationHTTPServer((host, port), service, max_body_bytes=max_body_bytes)
     service.start()
     return server

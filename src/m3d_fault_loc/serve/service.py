@@ -4,25 +4,41 @@ Request path: callers (one per HTTP connection thread) gate their graph
 through the m3dlint contract engine — ERROR findings raise
 :class:`~m3d_fault_loc.data.dataset.GraphContractError` and never reach the
 model — then look up the content-hash cache and, on a miss, enqueue the
-graph on a thread-safe queue. A single worker thread drains the queue into
-micro-batches (up to ``max_batch`` graphs or ``batch_window_s`` of waiting,
-whichever first), runs one stacked ``node_scores_batch`` forward pass, and
-resolves the per-request futures.
+graph on a *bounded* thread-safe queue. A single worker thread drains the
+queue into micro-batches (up to ``max_batch`` graphs or ``batch_window_s``
+of waiting, whichever first), runs one stacked ``node_scores_batch`` forward
+pass, and resolves the per-request futures.
+
+Failure modes are explicit and bounded (see
+:mod:`m3d_fault_loc.serve.resilience`):
+
+- every request carries a :class:`Deadline`; an expired request raises
+  :class:`DeadlineExceededError` at the caller and is *dropped* by the
+  worker instead of wasting a forward pass;
+- a full admission queue sheds the request
+  (:class:`LoadSheddedError` → HTTP 429) instead of growing without bound;
+- consecutive batch failures trip a half-open :class:`CircuitBreaker`
+  (:class:`CircuitOpenError` → HTTP 503) that probes before closing;
+- a watchdog thread detects a dead or stalled worker, fails its stranded
+  futures with :class:`WorkerCrashedError`, restarts it with exponential
+  backoff, and drives the ``ok``/``degraded``/``unhealthy`` health machine;
+- draining stops admission, lets queued work finish within a deadline, and
+  fails leftovers deterministically with :class:`ServiceDrainingError`.
 
 The registry's activation pointer is polled at request entry and between
 batches: swapping ``ACTIVE`` in the registry hot-reloads the model without
-dropping requests. Cache keys are prefixed with the model fingerprint and the
-reload check runs before the cache lookup, so results computed by a previous
-model are unreachable after a reload (the cache is also cleared to free the
-memory).
+dropping requests. A reload that fails (corrupt artifact, I/O error) keeps
+the current model serving and is counted, never propagated to callers.
 """
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -35,6 +51,24 @@ from m3d_fault_loc.model.localizer import DelayFaultLocalizer
 from m3d_fault_loc.serve.cache import LRUResultCache, graph_digest
 from m3d_fault_loc.serve.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from m3d_fault_loc.serve.registry import ModelManifest, ModelRegistry
+from m3d_fault_loc.serve.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
+    ExponentialBackoff,
+    HealthMonitor,
+    LoadSheddedError,
+    ServiceDrainingError,
+    WorkerCrashedError,
+)
+
+logger = logging.getLogger(__name__)
+
+#: How often an idle worker wakes to check for stop/generation changes.
+_IDLE_POLL_S = 0.05
+#: How often the drain loop re-checks for an empty pipeline.
+_DRAIN_POLL_S = 0.005
 
 
 @dataclass(frozen=True)
@@ -70,7 +104,23 @@ class _Pending:
     digest: str
     top_k: int
     warnings: tuple[str, ...]
+    deadline: Deadline
     future: Future = field(default_factory=Future)
+
+    def complete(self, result: LocalizationResult) -> bool:
+        """Resolve the future; ``False`` if something else resolved it first."""
+        try:
+            self.future.set_result(result)
+            return True
+        except InvalidStateError:
+            return False
+
+    def fail(self, exc: BaseException) -> bool:
+        try:
+            self.future.set_exception(exc)
+            return True
+        except InvalidStateError:
+            return False
 
 
 class LocalizationService:
@@ -88,24 +138,48 @@ class LocalizationService:
         cache_size: int = 1024,
         max_batch: int = 16,
         batch_window_s: float = 0.005,
-        request_timeout_s: float = 30.0,
+        request_timeout_s: float | None = 30.0,
         metrics: MetricsRegistry | None = None,
+        max_queue: int = 256,
+        shed_retry_after_s: float = 1.0,
+        breaker: CircuitBreaker | None = None,
+        watchdog_interval_s: float | None = 0.2,
+        stall_timeout_s: float | None = 30.0,
+        restart_backoff: ExponentialBackoff | None = None,
+        unhealthy_after: int = 3,
+        drain_deadline_s: float = 5.0,
     ):
         if (model is None) == (registry is None):
             raise ValueError("pass exactly one of model= or registry=")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.registry = registry
         self.max_batch = max_batch
+        self.max_queue = max_queue
         self.batch_window_s = batch_window_s
         self.request_timeout_s = request_timeout_s
+        self.shed_retry_after_s = shed_retry_after_s
+        self.watchdog_interval_s = watchdog_interval_s
+        self.stall_timeout_s = stall_timeout_s
+        self.drain_deadline_s = drain_deadline_s
         self._engine = engine or default_engine()
         self._cache = LRUResultCache(capacity=cache_size)
-        self._queue: queue.Queue[_Pending | None] = queue.Queue()
+        self._queue: queue.Queue[_Pending | None] = queue.Queue(maxsize=max_queue)
         self._worker: threading.Thread | None = None
+        self._watchdog: threading.Thread | None = None
+        self._worker_gen = 0
+        self._heartbeat = time.monotonic()
+        self._in_flight: list[_Pending] = []
+        self._flight_lock = threading.Lock()
         self._start_lock = threading.Lock()
         self._reload_lock = threading.Lock()
+        self._stop_requested = threading.Event()
+        self._restart_backoff = restart_backoff or ExponentialBackoff(base_s=0.05, max_s=2.0)
+        self._draining = False
         self._closed = False
+        self._failed_ref: tuple[str, str] | None = None
 
         self.metrics = metrics or MetricsRegistry()
         m = self.metrics
@@ -122,13 +196,48 @@ class LocalizationService:
         )
         self.m_graphs = m.counter("m3d_graphs_localized_total", "graphs run through the model")
         self.m_reloads = m.counter("m3d_model_reloads_total", "hot reloads of the active model")
+        self.m_reload_failures = m.counter(
+            "m3d_model_reload_failures_total", "hot reloads refused (corrupt artifact, I/O error)"
+        )
+        self.m_shed = m.counter(
+            "m3d_shed_total", "requests shed because the admission queue was full"
+        )
+        self.m_deadline = m.counter(
+            "m3d_deadline_exceeded_total", "requests that exceeded their deadline"
+        )
+        self.m_breaker_trips = m.counter(
+            "m3d_breaker_trips_total", "circuit breaker transitions into the open state"
+        )
+        self.m_breaker_rejections = m.counter(
+            "m3d_breaker_rejections_total", "requests refused while the breaker was open"
+        )
+        self.m_worker_restarts = m.counter(
+            "m3d_worker_restarts_total", "batch worker restarts by the watchdog"
+        )
+        self.m_drain_failed = m.counter(
+            "m3d_drain_failures_total", "requests failed at the drain deadline"
+        )
         self.m_queue_depth = m.gauge("m3d_queue_depth", "requests waiting in the batch queue")
+        self.m_breaker_state = m.state_gauge(
+            "m3d_breaker_state", "circuit breaker state", states=CircuitBreaker.STATES
+        )
+        self.m_health_state = m.state_gauge(
+            "m3d_health_state", "service health state", states=HealthMonitor.STATES
+        )
         self.m_batch_size = m.histogram(
             "m3d_batch_size", "graphs per forward pass", buckets=DEFAULT_SIZE_BUCKETS
         )
         self.m_latency = m.histogram(
             "m3d_request_latency_seconds", "end-to-end localization latency"
         )
+
+        self._breaker = breaker or CircuitBreaker()
+        self._breaker.set_transition_listener(self._on_breaker_transition)
+        self.m_breaker_state.set_state(self._breaker.state)
+        self._health = HealthMonitor(
+            unhealthy_after=unhealthy_after, on_transition=self._on_health_transition
+        )
+        self.m_health_state.set_state(self._health.status)
 
         if registry is not None:
             loaded, manifest = registry.load_active()
@@ -138,6 +247,19 @@ class LocalizationService:
             assert model is not None
             self._active_ref = None
             self._install_model(model, None)
+
+    # -- observability hooks ----------------------------------------------
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.m_breaker_state.set_state(new)
+        if new == CircuitBreaker.OPEN:
+            self.m_breaker_trips.inc()
+        logger.warning("circuit breaker: %s -> %s", old, new)
+
+    def _on_health_transition(self, old: str, new: str) -> None:
+        self.m_health_state.set_state(new)
+        log = logger.info if new == HealthMonitor.OK else logger.warning
+        log("health: %s -> %s", old, new)
 
     # -- model identity ----------------------------------------------------
 
@@ -168,25 +290,58 @@ class LocalizationService:
     def cache_stats(self) -> dict[str, int]:
         return self._cache.stats()
 
+    def health_snapshot(self) -> dict[str, Any]:
+        """Structured health for ``/healthz``: status machine + components."""
+        health = self._health.snapshot()
+        worker = self._worker
+        status = health.pop("status")
+        if self._draining or self._closed:
+            status = "draining"
+        info = self.describe_model()
+        return {
+            "status": status,
+            "model": {"name": info["name"], "version": info["version"]},
+            "worker": {"alive": bool(worker is not None and worker.is_alive()), **health},
+            "breaker": self._breaker.snapshot(),
+            "queue_depth": self._queue.qsize(),
+            "draining": bool(self._draining or self._closed),
+        }
+
     def _maybe_reload(self) -> None:
         """Swap in the registry's active model if the pointer moved.
 
         Runs at request entry (before the cache lookup, so a swap can never
         serve a previous model's cached answer) and again in the worker
-        between batches. ``active_ref`` is one small-file read — cheap enough
-        to poll per request.
+        between batches. A reload that fails — quarantined artifact, I/O
+        error — keeps the current model serving, increments
+        ``m3d_model_reload_failures_total``, and is not retried until the
+        pointer moves again.
         """
         if self.registry is None:
             return
-        ref = self.registry.active_ref()
-        if ref is None or ref == self._active_ref:
+        try:
+            ref = self.registry.active_ref()
+        except Exception:
+            logger.exception("reading ACTIVE pointer failed; keeping %s", self._active_ref)
+            self.m_reload_failures.inc()
+            return
+        if ref is None or ref == self._active_ref or ref == self._failed_ref:
             return
         with self._reload_lock:
-            if ref == self._active_ref:
+            if ref == self._active_ref or ref == self._failed_ref:
                 return
-            model, manifest = self.registry.load(*ref)
+            try:
+                model, manifest = self.registry.load(*ref)
+            except Exception:
+                logger.exception(
+                    "hot reload to %s failed; keeping %s serving", ref, self._active_ref
+                )
+                self._failed_ref = ref
+                self.m_reload_failures.inc()
+                return
             self._install_model(model, manifest)
             self._active_ref = ref
+            self._failed_ref = None
             self._cache.clear()
             self.m_reloads.inc()
 
@@ -197,20 +352,72 @@ class LocalizationService:
             if self._closed:
                 raise RuntimeError("service is closed")
             if self._worker is None:
-                self._worker = threading.Thread(
-                    target=self._worker_loop, name="m3d-localize-worker", daemon=True
+                self._spawn_worker()
+            if self._watchdog is None and self.watchdog_interval_s is not None:
+                self._watchdog = threading.Thread(
+                    target=self._watchdog_loop, name="m3d-localize-watchdog", daemon=True
                 )
-                self._worker.start()
+                self._watchdog.start()
+
+    def _spawn_worker(self) -> None:
+        gen = self._worker_gen
+        self._heartbeat = time.monotonic()
+        self._worker = threading.Thread(
+            target=self._worker_loop,
+            args=(gen,),
+            name=f"m3d-localize-worker-{gen}",
+            daemon=True,
+        )
+        self._worker.start()
+
+    def begin_drain(self) -> None:
+        """Stop admitting requests; already-queued work keeps flowing."""
+        self._draining = True
+
+    def await_drain(self, deadline_s: float | None = None) -> dict[str, int]:
+        """Wait for the pipeline to empty, then fail leftovers deterministically.
+
+        Returns ``{"failed": n}`` — the number of requests that could not
+        complete within the drain deadline and were failed with
+        :class:`ServiceDrainingError` (also counted in
+        ``m3d_drain_failures_total``).
+        """
+        deadline = Deadline.after(deadline_s if deadline_s is not None else self.drain_deadline_s)
+        while not deadline.expired():
+            with self._flight_lock:
+                busy = bool(self._in_flight)
+            if not busy and self._queue.qsize() == 0:
+                break
+            time.sleep(_DRAIN_POLL_S)
+        failed = self._fail_pending(ServiceDrainingError("draining"))
+        if failed:
+            self.m_drain_failed.inc(failed)
+        return {"failed": failed}
+
+    def drain(self, deadline_s: float | None = None) -> dict[str, int]:
+        """``begin_drain()`` + ``await_drain()`` in one call."""
+        self.begin_drain()
+        return self.await_drain(deadline_s)
 
     def close(self) -> None:
         with self._start_lock:
             if self._closed:
                 return
             self._closed = True
+            self._draining = True
             worker = self._worker
+            watchdog = self._watchdog
+        if worker is not None and worker.is_alive():
+            self.await_drain(self.drain_deadline_s)
+        self._stop_requested.set()
         if worker is not None:
-            self._queue.put(None)
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:
+                pass
             worker.join(timeout=5.0)
+        if watchdog is not None:
+            watchdog.join(timeout=5.0)
 
     def __enter__(self) -> LocalizationService:
         self.start()
@@ -221,19 +428,30 @@ class LocalizationService:
 
     # -- request path ------------------------------------------------------
 
-    def localize(self, graph: CircuitGraph, top_k: int = 5) -> LocalizationResult:
+    def localize(
+        self, graph: CircuitGraph, top_k: int = 5, timeout_s: float | None = None
+    ) -> LocalizationResult:
         """Gate, cache-check, and (on a miss) batch one graph through the model.
 
-        Raises :class:`~m3d_fault_loc.data.dataset.GraphContractError` when
-        the contract gate finds ERROR-severity violations — a structured
-        rejection is always preferable to localizing a malformed graph.
+        ``timeout_s`` is this request's deadline (defaults to the service's
+        ``request_timeout_s``); it bounds queue wait *and* is honored by the
+        worker, which drops expired requests instead of scoring them.
+
+        Raises :class:`~m3d_fault_loc.data.dataset.GraphContractError` on
+        contract violations, :class:`LoadSheddedError` when the admission
+        queue is full, :class:`CircuitOpenError` while the breaker is open,
+        and :class:`DeadlineExceededError` past the deadline — each a
+        structured rejection rather than a hang or a wrong answer.
         """
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         if self._closed:
             raise RuntimeError("service is closed")
+        if self._draining:
+            raise ServiceDrainingError("draining")
         self.start()
         started = time.perf_counter()
+        deadline = Deadline.after(timeout_s if timeout_s is not None else self.request_timeout_s)
         self.m_requests.inc()
         try:
             warnings = gate_graph(graph, self._engine)
@@ -251,16 +469,31 @@ class LocalizationService:
             self.m_latency.observe(latency)
             return replace(hit, cached=True, latency_s=latency)
 
+        if not self._breaker.allow():
+            self.m_breaker_rejections.inc()
+            raise CircuitOpenError(self._breaker.retry_after_s())
+
         pending = _Pending(
             graph=graph,
             digest=digest,
             top_k=top_k,
             warnings=tuple(v.render() for v in warnings),
+            deadline=deadline,
         )
-        self._queue.put(pending)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.m_shed.inc()
+            raise LoadSheddedError(self.max_queue, self.shed_retry_after_s) from None
         self.m_queue_depth.set(self._queue.qsize())
         try:
-            result: LocalizationResult = pending.future.result(timeout=self.request_timeout_s)
+            result: LocalizationResult = pending.future.result(timeout=deadline.remaining())
+        except FutureTimeoutError:
+            self.m_deadline.inc()
+            raise DeadlineExceededError(deadline.budget_s, where="await") from None
+        except DeadlineExceededError:
+            self.m_deadline.inc()
+            raise
         except Exception:
             self.m_errors.inc()
             raise
@@ -270,47 +503,138 @@ class LocalizationService:
 
     # -- worker ------------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, gen: int) -> None:
         while True:
-            item = self._queue.get()
-            if item is None:
-                return
-            batch = [item]
-            deadline = time.monotonic() + self.batch_window_s
-            stopping = False
-            while len(batch) < self.max_batch:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
+            try:
+                if self._worker_gen != gen:
+                    return  # superseded by a watchdog restart
+                self._heartbeat = time.monotonic()
                 try:
-                    nxt = self._queue.get(timeout=remaining)
+                    item = self._queue.get(timeout=_IDLE_POLL_S)
                 except queue.Empty:
-                    break
-                if nxt is None:
-                    stopping = True
-                    break
-                batch.append(nxt)
-            self.m_queue_depth.set(self._queue.qsize())
-            self._maybe_reload()
-            self._run_batch(batch)
-            if stopping:
-                return
+                    if self._stop_requested.is_set():
+                        return
+                    continue
+                if item is None:
+                    return
+                batch = self._collect_batch(item)
+                self.m_queue_depth.set(self._queue.qsize())
+                live = self._drop_expired(batch)
+                if not live:
+                    continue
+                # Gen-guarded: a worker superseded mid-batch by the watchdog
+                # must not clobber its replacement's in-flight record.
+                with self._flight_lock:
+                    if self._worker_gen == gen:
+                        self._in_flight = list(live)
+                self._maybe_reload()
+                self._run_batch(live)
+                with self._flight_lock:
+                    if self._worker_gen == gen:
+                        self._in_flight = []
+            except Exception:
+                # A worker that dies silently strands every queued future;
+                # anything short of thread death must keep the loop alive.
+                logger.exception("batch worker iteration failed; continuing")
+
+    def _collect_batch(self, first: _Pending) -> list[_Pending]:
+        batch = [first]
+        window_ends = time.monotonic() + self.batch_window_s
+        while len(batch) < self.max_batch:
+            remaining = window_ends - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                nxt = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if nxt is None:
+                self._stop_requested.set()
+                break
+            batch.append(nxt)
+        return batch
+
+    def _drop_expired(self, batch: list[_Pending]) -> list[_Pending]:
+        """Fail already-expired requests instead of spending a forward pass."""
+        live: list[_Pending] = []
+        for p in batch:
+            if p.deadline.expired():
+                p.fail(DeadlineExceededError(p.deadline.budget_s, where="batch queue"))
+            else:
+                live.append(p)
+        return live
 
     def _run_batch(self, batch: list[_Pending]) -> None:
         model, info, prefix = self._model_state
         try:
             scores_per_graph = model.node_scores_batch([p.graph for p in batch])
         except Exception as exc:
+            self._breaker.record_failure()
             for p in batch:
-                p.future.set_exception(exc)
+                p.fail(exc)
             return
+        self._breaker.record_success()
+        self._health.record_success()
+        self._restart_backoff.reset()
         self.m_forward_passes.inc()
         self.m_batch_size.observe(len(batch))
         self.m_graphs.inc(len(batch))
         for p, scores in zip(batch, scores_per_graph, strict=True):
             result = self._build_result(p, scores, info)
             self._cache.put(f"{prefix}:{p.top_k}:{p.digest}", result)
-            p.future.set_result(result)
+            p.complete(result)
+
+    # -- supervision -------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        interval = self.watchdog_interval_s or 0.2
+        while True:
+            try:
+                if self._stop_requested.wait(interval):
+                    return
+                worker = self._worker
+                if worker is None:
+                    continue
+                dead = not worker.is_alive()
+                stalled = not dead and self._stalled()
+                if not (dead or stalled):
+                    continue
+                reason = "batch worker thread died" if dead else "batch worker stalled"
+                logger.error("watchdog: %s; failing stranded requests and restarting", reason)
+                self._health.record_worker_failure(reason)
+                self.m_worker_restarts.inc()
+                self._worker_gen += 1  # a stalled-but-alive worker exits when it unblocks
+                self._fail_pending(WorkerCrashedError(f"{reason}; failed by watchdog"))
+                if self._stop_requested.wait(self._restart_backoff.next_delay()):
+                    return
+                with self._start_lock:
+                    if not self._closed:
+                        self._spawn_worker()
+            except Exception:
+                logger.exception("watchdog iteration failed; continuing")
+
+    def _stalled(self) -> bool:
+        if self.stall_timeout_s is None:
+            return False
+        with self._flight_lock:
+            busy = bool(self._in_flight)
+        busy = busy or self._queue.qsize() > 0
+        return busy and (time.monotonic() - self._heartbeat) > self.stall_timeout_s
+
+    def _fail_pending(self, exc: BaseException) -> int:
+        """Fail every stranded request (in-flight + queued); returns count."""
+        with self._flight_lock:
+            stranded = list(self._in_flight)
+            self._in_flight = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                stranded.append(item)
+        self.m_queue_depth.set(0)
+        return sum(1 for p in stranded if p.fail(exc))
 
     @staticmethod
     def _build_result(

@@ -1,0 +1,22 @@
+"""Test-support subsystem: deterministic fault injection for chaos tests.
+
+Shipped inside the package (not under ``tests/``) on purpose: fault
+injection is a first-class capability of the serving stack, and downstream
+deployments can reuse the same shims to rehearse their own failure drills.
+"""
+
+from m3d_fault_loc.testing.chaos import (
+    CrashOnNthBatchModel,
+    FlakyIO,
+    SlowBatchModel,
+    WorkerKilled,
+    corrupt_artifact,
+)
+
+__all__ = [
+    "CrashOnNthBatchModel",
+    "FlakyIO",
+    "SlowBatchModel",
+    "WorkerKilled",
+    "corrupt_artifact",
+]

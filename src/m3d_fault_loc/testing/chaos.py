@@ -1,0 +1,175 @@
+"""Deterministic fault-injection harness for the serving stack.
+
+Every shim here injects *one* failure mode, at a *chosen* point, a *chosen*
+number of times — chaos tests must be reproducible, never probabilistic:
+
+- :class:`CrashOnNthBatchModel` — raises on the Nth batch forward pass;
+  with ``kill_worker=True`` it raises :class:`WorkerKilled` (a
+  ``BaseException``) that escapes the worker's broad exception guard and
+  takes the whole batch-worker thread down, exercising the watchdog.
+- :class:`SlowBatchModel` — sleeps before each forward pass to exercise
+  deadlines, queue back-pressure, and stall detection.
+- :func:`corrupt_artifact` — tampers with a published registry artifact on
+  disk so checksum verification (and quarantine) can be exercised.
+- :class:`FlakyIO` — a callable for ``ModelRegistry.io_fault_hook`` that
+  raises for the first N I/O attempts, exercising retry-with-backoff.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from m3d_fault_loc.graph.schema import CircuitGraph
+from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.serve.registry import ModelRegistry
+
+
+class WorkerKilled(BaseException):
+    """Simulated hard death of the batch worker thread.
+
+    Derives from ``BaseException`` so it escapes the worker loop's broad
+    ``except Exception`` guard — the closest pure-Python analogue to the
+    thread being killed outright — and leaves the in-flight futures
+    unresolved for the watchdog to fail.
+    """
+
+
+class ChaosModelWrapper:
+    """Base wrapper delegating the full localizer surface to a real model.
+
+    Subclasses override :meth:`node_scores_batch` to inject faults; every
+    other attribute (``in_dim``, ``hidden``, ``params``, ``fingerprint``,
+    ``save``, …) passes straight through so the service, registry, and
+    cache cannot tell a chaos model from a healthy one until it misbehaves.
+    """
+
+    def __init__(self, base: DelayFaultLocalizer):
+        self._base = base
+        self.batch_calls = 0
+        self._lock = threading.Lock()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._base, name)
+
+    def _next_call(self) -> int:
+        with self._lock:
+            self.batch_calls += 1
+            return self.batch_calls
+
+    def node_scores_batch(self, graphs: Sequence[CircuitGraph]) -> list[np.ndarray]:
+        self._next_call()
+        return self._base.node_scores_batch(graphs)
+
+
+class CrashOnNthBatchModel(ChaosModelWrapper):
+    """Fail ``crash_count`` consecutive batch forward passes from the Nth on.
+
+    ``crash_on`` counts from 1. ``crash_count=None`` fails forever — the
+    shape needed to trip a consecutive-failure circuit breaker; a finite
+    count lets the model "recover" so half-open probes and watchdog
+    restarts can be observed succeeding. With ``kill_worker=True`` the
+    failure is a :class:`WorkerKilled` instead of an ordinary exception, so
+    it unwinds the worker thread rather than failing one batch.
+    """
+
+    def __init__(
+        self,
+        base: DelayFaultLocalizer,
+        crash_on: int = 1,
+        crash_count: int | None = 1,
+        kill_worker: bool = False,
+        message: str = "injected batch failure",
+    ):
+        super().__init__(base)
+        if crash_on < 1:
+            raise ValueError(f"crash_on counts from 1, got {crash_on}")
+        if crash_count is not None and crash_count < 1:
+            raise ValueError(f"crash_count must be >= 1 or None, got {crash_count}")
+        self.crash_on = crash_on
+        self.crash_count = crash_count
+        self.kill_worker = kill_worker
+        self.message = message
+
+    def node_scores_batch(self, graphs: Sequence[CircuitGraph]) -> list[np.ndarray]:
+        call = self._next_call()
+        should_crash = call >= self.crash_on and (
+            self.crash_count is None or call < self.crash_on + self.crash_count
+        )
+        if should_crash:
+            detail = f"{self.message} (batch call {call})"
+            if self.kill_worker:
+                raise WorkerKilled(detail)
+            raise RuntimeError(detail)
+        return self._base.node_scores_batch(graphs)
+
+
+class SlowBatchModel(ChaosModelWrapper):
+    """Sleep ``delay_s`` before each forward pass (optionally only the
+    first ``slow_calls`` of them) to simulate an overloaded or wedged model."""
+
+    def __init__(
+        self, base: DelayFaultLocalizer, delay_s: float, slow_calls: int | None = None
+    ):
+        super().__init__(base)
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        self.delay_s = delay_s
+        self.slow_calls = slow_calls
+
+    def node_scores_batch(self, graphs: Sequence[CircuitGraph]) -> list[np.ndarray]:
+        call = self._next_call()
+        if self.slow_calls is None or call <= self.slow_calls:
+            time.sleep(self.delay_s)
+        return self._base.node_scores_batch(graphs)
+
+
+def corrupt_artifact(
+    registry: ModelRegistry, name: str, version: str, mode: str = "append"
+) -> Path:
+    """Tamper with a published artifact on disk; returns the artifact path.
+
+    Modes: ``append`` (extra trailing bytes — checksum mismatch, file still
+    loads as npz), ``truncate`` (drop the tail — mismatch *and* unreadable),
+    ``flip`` (flip one byte in the middle).
+    """
+    artifact = registry.root / "models" / name / version / "model.npz"
+    raw = artifact.read_bytes()
+    if mode == "append":
+        artifact.write_bytes(raw + b"\x00chaos")
+    elif mode == "truncate":
+        artifact.write_bytes(raw[: max(1, len(raw) // 2)])
+    elif mode == "flip":
+        mid = len(raw) // 2
+        artifact.write_bytes(raw[:mid] + bytes([raw[mid] ^ 0xFF]) + raw[mid + 1 :])
+    else:
+        raise ValueError(f"unknown corruption mode: {mode!r}")
+    return artifact
+
+
+class FlakyIO:
+    """Callable for ``ModelRegistry.io_fault_hook``: fail the first N
+    I/O attempts with ``exc_type``, then behave forever after.
+
+    Exercises the registry's retry-with-backoff without touching the real
+    filesystem — the hook fires *before* each read attempt.
+    """
+
+    def __init__(self, failures: int, exc_type: type[OSError] = OSError):
+        if failures < 0:
+            raise ValueError(f"failures must be >= 0, got {failures}")
+        self.failures = failures
+        self.exc_type = exc_type
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> None:
+        with self._lock:
+            self.calls += 1
+            if self.calls <= self.failures:
+                raise self.exc_type(f"injected transient I/O failure {self.calls}")

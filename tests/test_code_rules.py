@@ -169,3 +169,75 @@ def test_serve_sources_pass_their_own_rule():
     for source_file in sorted(serve_dir.glob("*.py")):
         violations = lint_source(source_file.read_text(), source_file)
         assert not [v for v in violations if v.rule_id == "M3D205"], source_file
+
+
+# -- M3D206 unguarded thread-target loops ----------------------------------
+
+UNGUARDED_WORKER = (
+    "import threading\n"
+    "def _worker_loop(q):\n"
+    "    while True:\n"
+    "        handle(q.get())\n"
+    "def start():\n"
+    "    threading.Thread(target=_worker_loop, args=(q,)).start()\n"
+)
+
+
+def test_unguarded_thread_loop_warns_outside_serve():
+    findings = [v for v in lint_source(UNGUARDED_WORKER, FAKE) if v.rule_id == "M3D206"]
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+    assert "_worker_loop" in findings[0].message
+
+
+def test_unguarded_thread_loop_is_error_inside_serve():
+    serve_path = Path("src/m3d_fault_loc/serve/workers.py")
+    findings = [v for v in lint_source(UNGUARDED_WORKER, serve_path) if v.rule_id == "M3D206"]
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_broadly_guarded_thread_loop_clean():
+    src = (
+        "import threading\n"
+        "def _worker_loop(q):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            handle(q.get())\n"
+        "        except Exception:\n"
+        "            log()\n"
+        "def start():\n"
+        "    threading.Thread(target=_worker_loop).start()\n"
+    )
+    assert "M3D206" not in fired(src)
+
+
+def test_typed_handler_does_not_count_as_a_guard():
+    src = (
+        "import queue, threading\n"
+        "def _worker_loop(q):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            handle(q.get_nowait())\n"
+        "        except queue.Empty:\n"
+        "            continue\n"
+        "def start():\n"
+        "    threading.Thread(target=_worker_loop).start()\n"
+    )
+    assert "M3D206" in fired(src)
+
+
+def test_loops_in_non_target_functions_are_ignored():
+    src = (
+        "def drain(q):\n"
+        "    while q:\n"
+        "        q.pop()\n"
+    )
+    assert "M3D206" not in fired(src)
+
+
+def test_serve_sources_pass_the_thread_loop_rule():
+    serve_dir = Path(__file__).resolve().parents[1] / "src" / "m3d_fault_loc" / "serve"
+    for source_file in sorted(serve_dir.glob("*.py")):
+        violations = lint_source(source_file.read_text(), source_file)
+        assert not [v for v in violations if v.rule_id == "M3D206"], source_file
