@@ -1,0 +1,143 @@
+"""Validate a Prometheus text exposition (as served by ``GET /metrics``).
+
+Checks, per metric family:
+
+- every sample line parses as ``name{labels} value`` with a finite float,
+- every sample is preceded by a ``# TYPE`` line for its family,
+- histograms expose ``_sum``, ``_count``, and a ``+Inf`` bucket,
+- histogram buckets are cumulative (monotone non-decreasing in ``le`` order)
+  and the ``+Inf`` bucket equals ``_count``.
+
+Importable (``check_exposition(text) -> list[str]`` of problems) and
+runnable: ``python scripts/check_prom.py [FILE]`` reads the exposition from
+FILE or stdin and exits 1 listing every problem found. CI pipes the smoke
+server's ``/metrics`` through it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LE_RE = re.compile(r'le="([^"]+)"')
+
+
+def _family(name: str) -> str:
+    """The metric family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def _parse_le(labels: str | None) -> float | None:
+    match = _LE_RE.search(labels or "")
+    if match is None:
+        return None
+    raw = match.group(1)
+    return math.inf if raw == "+Inf" else float(raw)
+
+
+def check_exposition(text: str) -> list[str]:
+    """Return every problem found in a Prometheus text exposition."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    # family -> list of (le, count) for _bucket samples; and scalar samples
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, float] = {}
+    seen_families: list[str] = []
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(f"line {lineno}: non-numeric value in: {line!r}")
+            continue
+        if math.isnan(value):
+            problems.append(f"line {lineno}: NaN value for {name}")
+        family = _family(name)
+        if family not in types:
+            problems.append(f"line {lineno}: sample {name!r} has no preceding # TYPE line")
+        if family not in seen_families:
+            seen_families.append(family)
+        if name.endswith("_bucket"):
+            le = _parse_le(match.group("labels"))
+            if le is None:
+                problems.append(f"line {lineno}: bucket sample without an le label: {line!r}")
+            else:
+                buckets.setdefault(family, []).append((le, value))
+        elif name.endswith("_sum"):
+            sums[family] = value
+        elif name.endswith("_count"):
+            counts[family] = value
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = buckets.get(family, [])
+        if not series:
+            problems.append(f"histogram {family}: no _bucket samples")
+            continue
+        if family not in sums:
+            problems.append(f"histogram {family}: missing _sum")
+        if family not in counts:
+            problems.append(f"histogram {family}: missing _count")
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            problems.append(f"histogram {family}: buckets not in increasing le order")
+        if les and les[-1] != math.inf:
+            problems.append(f"histogram {family}: missing the +Inf bucket")
+        values = [v for _, v in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(f"histogram {family}: bucket counts are not cumulative")
+        if les and les[-1] == math.inf and family in counts and values[-1] != counts[family]:
+            problems.append(
+                f"histogram {family}: +Inf bucket ({values[-1]:g}) != _count "
+                f"({counts[family]:g})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] not in ("-",):
+        with open(argv[0], encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    problems = check_exposition(text)
+    for problem in problems:
+        print(f"check_prom: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    families = len({_family(m.group("name")) for m in map(_SAMPLE_RE.match, (
+        line for line in text.splitlines() if line and not line.startswith("#")
+    )) if m})
+    print(f"check_prom: OK ({families} metric families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

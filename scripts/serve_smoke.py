@@ -3,8 +3,12 @@
 Boots ``m3d_fault_loc.cli.serve`` on an ephemeral port, then drives the
 acceptance scenario over real HTTP: health check, a localization, a repeat
 of the same graph (must be a cache hit with no extra forward pass), a
-contract-violating graph (must get a structured 422), and a metrics read
-asserting the counters actually advanced. Exits non-zero on any failure.
+contract-violating graph (must get a structured 422), a metrics read
+asserting the counters actually advanced, the trace plumbing (every
+response carries ``X-M3D-Trace-Id``, ``/debug/traces`` shows completed
+traces with stage spans and the per-stage histograms register on
+``/metrics``), and a full Prometheus-exposition validation via
+``scripts/check_prom.py``. Exits non-zero on any failure.
 
 Usage::
 
@@ -25,10 +29,13 @@ import numpy as np
 
 from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_prom import check_exposition  # noqa: E402 - sibling script import
+
 
 def _request(
     port: int, method: str, path: str, body: dict[str, Any] | None = None
-) -> tuple[int, Any]:
+) -> tuple[int, Any, dict[str, str]]:
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
     try:
         payload = json.dumps(body) if body is not None else None
@@ -38,7 +45,7 @@ def _request(
         raw = response.read()
         content_type = response.getheader("Content-Type") or ""
         data = json.loads(raw) if "json" in content_type else raw.decode()
-        return response.status, data
+        return response.status, data, dict(response.getheaders())
     finally:
         conn.close()
 
@@ -82,18 +89,21 @@ def main(argv: list[str] | None = None) -> int:
         _check(port is not None, "server booted and printed its ephemeral port")
         assert port is not None
 
-        status, health = _request(port, "GET", "/healthz")
+        status, health, _ = _request(port, "GET", "/healthz")
         _check(status == 200 and health["status"] == "ok", "GET /healthz is ok")
 
-        status, first = _request(port, "POST", "/localize", good_payload)
+        status, first, first_headers = _request(port, "POST", "/localize", good_payload)
         _check(status == 200 and len(first["top"]) == 3, "POST /localize returns top-3")
         _check(first["cached"] is False, "first localization is a model run")
+        trace_id = first_headers.get("X-M3D-Trace-Id", "")
+        _check(len(trace_id) >= 8, "200 response carries an X-M3D-Trace-Id header")
+        _check(first.get("trace_id") == trace_id, "response body echoes the same trace id")
 
-        status, second = _request(port, "POST", "/localize", good_payload)
+        status, second, _ = _request(port, "POST", "/localize", good_payload)
         _check(status == 200 and second["cached"] is True, "repeat request served from cache")
         _check(second["top"] == first["top"], "cached ranking matches the original")
 
-        status, rejection = _request(
+        status, rejection, rej_headers = _request(
             port, "POST", "/localize", {"graph": bad_graph, "top_k": 3}
         )
         _check(status == 422, "contract-violating graph rejected with 422")
@@ -101,9 +111,33 @@ def main(argv: list[str] | None = None) -> int:
             any(v["rule_id"].startswith("M3D1") for v in rejection["violations"]),
             "rejection cites an M3D1xx contract rule",
         )
+        rej_tid = rej_headers.get("X-M3D-Trace-Id")
+        _check(
+            rej_tid is not None and rejection.get("trace_id") == rej_tid,
+            "422 error body and header agree on the trace id",
+        )
 
-        status, metrics = _request(port, "GET", "/metrics?format=json")
+        status, debug, _ = _request(port, "GET", "/debug/traces")
+        _check(status == 200, "GET /debug/traces responds")
+        _check(len(debug["traces"]) >= 3, "debug ring holds the completed traces")
+        by_id = {t["trace_id"]: t for t in debug["traces"]}
+        _check(trace_id in by_id, "the first request's trace is retrievable by id")
+        stages = {s["stage"] for s in by_id[trace_id]["spans"]}
+        _check(
+            {"contract_gate", "cache_lookup", "batch_infer"} <= stages,
+            "trace spans cover the pipeline stages",
+        )
+
+        status, metrics, _ = _request(port, "GET", "/metrics?format=json")
         _check(status == 200, "GET /metrics responds")
+        stage_hists = [
+            "m3d_stage_contract_seconds", "m3d_stage_cache_lookup_seconds",
+            "m3d_stage_queue_wait_seconds", "m3d_stage_inference_seconds",
+        ]
+        _check(
+            all(metrics[h]["count"] >= 1 for h in stage_hists),
+            "all four per-stage latency histograms recorded observations",
+        )
         _check(metrics["m3d_requests_total"]["value"] == 3, "request counter advanced to 3")
         _check(metrics["m3d_cache_hits_total"]["value"] == 1, "cache-hit counter advanced")
         _check(metrics["m3d_forward_passes_total"]["value"] == 1, "exactly one forward pass ran")
@@ -116,11 +150,15 @@ def main(argv: list[str] | None = None) -> int:
             "latency histogram recorded non-zero time",
         )
 
-        status, prom = _request(port, "GET", "/metrics")
+        status, prom, _ = _request(port, "GET", "/metrics")
         _check(
             isinstance(prom, str) and "m3d_requests_total 3" in prom,
             "Prometheus text exposition agrees",
         )
+        problems = check_exposition(prom)
+        for problem in problems:
+            print(f"check_prom: {problem}", file=sys.stderr)
+        _check(not problems, "Prometheus exposition passes check_prom validation")
         print("serve smoke: PASS")
         return 0
     finally:

@@ -14,7 +14,11 @@ code rather than general style (which ruff covers):
   the serving layer, where they grow with every unique request),
 - **M3D206** thread-target worker loops without a broad exception guard
   (escalated to ERROR inside the serving layer, where a silently dead
-  worker strands every queued request).
+  worker strands every queued request),
+- **M3D207** ``print()`` or root-``logging`` calls in library code, which
+  bypass the structured JSON logger and lose the request trace id
+  (escalated to ERROR inside the serving layer; CLI entry points and
+  scripts are exempt — stdout is their interface).
 """
 
 from __future__ import annotations
@@ -362,6 +366,65 @@ class UnguardedThreadLoopRule(CodeRule):
         return False
 
 
+class UnstructuredOutputRule(CodeRule):
+    """Library code must log through the structured JSON logger
+    (``m3d_fault_loc.obs.logging.get_logger``) — a bare ``print()`` or a
+    root-``logging`` call (``logging.info(...)``, ``logging.basicConfig``)
+    bypasses the trace-id-carrying formatter, so the line can never be
+    correlated with the request that produced it. Escalates from WARNING to
+    ERROR inside ``serve/`` sources, where log/trace correlation is the
+    whole point. CLI entry points, scripts, and tests are exempt: stdout is
+    their user interface."""
+
+    id = "M3D207"
+    severity = Severity.WARNING
+    description = "no print()/root-logging in library code (ERROR inside serve/ code)"
+
+    #: Path parts whose modules talk to a terminal on purpose.
+    EXEMPT_PARTS = ("cli", "scripts", "tests")
+    #: Module-level ``logging.<attr>(...)`` calls that hit the root logger.
+    _ROOT_LOGGING_ATTRS = (
+        "debug", "info", "warning", "warn", "error", "exception", "critical",
+        "log", "basicConfig",
+    )
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        if any(part in self.EXEMPT_PARTS for part in path.parts) or path.stem == "cli":
+            return []
+        in_serve = "serve" in path.parts
+        severity = Severity.ERROR if in_serve else Severity.WARNING
+        where = " inside serving code" if in_serve else ""
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted == ("print",):
+                findings.append(
+                    self.violation(
+                        f"print() in library code{where}; use "
+                        "m3d_fault_loc.obs.logging.get_logger(__name__) so the "
+                        "line carries the request trace id",
+                        path,
+                        node.lineno,
+                        severity,
+                    )
+                )
+            elif len(dotted) == 2 and dotted[0] == "logging" and dotted[1] in (
+                self._ROOT_LOGGING_ATTRS
+            ):
+                findings.append(
+                    self.violation(
+                        f"root-logger call logging.{dotted[1]}() in library code{where}; "
+                        "use m3d_fault_loc.obs.logging.get_logger(__name__) instead",
+                        path,
+                        node.lineno,
+                        severity,
+                    )
+                )
+        return findings
+
+
 #: Full built-in catalog, in rule-id order.
 BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     MixedDeviceTransferRule,
@@ -370,6 +433,7 @@ BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     BareExceptRule,
     UnboundedModuleCacheRule,
     UnguardedThreadLoopRule,
+    UnstructuredOutputRule,
 )
 
 

@@ -6,7 +6,9 @@ Usage::
         [--data-dir graphs/] [--top-k 3]
 
 Reports top-1 and top-k localization accuracy; the dataset passes through the
-same contract gate as training.
+same contract gate as training. ``--metrics-log`` appends the numbers as an
+``eval`` JSONL record — the same stream ``m3d-train --metrics-log`` writes,
+summarized by ``m3d-obs train``.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import numpy as np
 from m3d_fault_loc.data.dataset import CircuitGraphDataset, GraphContractError
 from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.obs.telemetry import TelemetryWriter
 from m3d_fault_loc.utils.seed import seed_everything
 
 
@@ -46,6 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--top-k", type=int, default=3)
     parser.add_argument("--data-dir", type=Path, default=None,
                         help="evaluate on saved graphs instead of synthesizing")
+    parser.add_argument("--metrics-log", type=Path, default=None,
+                        help="append the hit@k numbers as an eval JSONL record")
     return parser
 
 
@@ -77,6 +82,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"evaluated {len(dataset)} graphs")
     print(f"top-1 localization accuracy: {top1:.3f}")
     print(f"top-{args.top_k} localization accuracy: {topk:.3f}")
+    if args.metrics_log is not None:
+        with TelemetryWriter(args.metrics_log) as telemetry:
+            telemetry.emit(
+                "eval",
+                model=str(args.model),
+                n_graphs=len(dataset),
+                top1=round(top1, 4),
+                k=args.top_k,
+                top_k_accuracy=round(topk, 4),
+            )
     return 0
 
 

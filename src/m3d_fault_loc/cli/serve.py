@@ -15,6 +15,11 @@ harnesses (CI smoke, tests) can parse it.
 stops (new requests get 503), the listener stops accepting, queued requests
 complete — or fail deterministically — within ``--drain-deadline-s``, and
 the process exits 0. That is the contract a rolling restart relies on.
+
+Observability: structured JSON logs go to stderr (``--log-level`` picks the
+threshold), completed request traces can be appended as JSONL with
+``--trace-log``, and requests slower than ``--slow-ms`` land in the
+slow-request ring exposed by ``GET /debug/traces``.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from pathlib import Path
 from types import FrameType
 
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.obs.logging import configure_json_logging
+from m3d_fault_loc.obs.trace import JsonlTraceExporter, Tracer
 from m3d_fault_loc.serve.registry import ModelRegistry, ModelRegistryError
 from m3d_fault_loc.serve.server import DEFAULT_MAX_BODY_BYTES, LocalizationHTTPServer, create_server
 from m3d_fault_loc.serve.service import LocalizationService
@@ -56,7 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="largest accepted request body (413 beyond it)")
     parser.add_argument("--drain-deadline-s", type=float, default=10.0,
                         help="graceful-shutdown drain budget on SIGTERM/SIGINT")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured-log threshold (JSON lines on stderr)")
+    parser.add_argument("--trace-log", type=Path, default=None,
+                        help="append completed request traces to this JSONL file")
+    parser.add_argument("--slow-ms", type=float, default=None,
+                        help="requests slower than this land in the slow-request ring")
+    parser.add_argument("--trace-capacity", type=int, default=256,
+                        help="completed traces kept in memory for /debug/traces")
     return parser
+
+
+def build_tracer(args: argparse.Namespace) -> Tracer:
+    """The request tracer implied by ``--trace-log``/``--slow-ms``/capacity."""
+    exporter = None if args.trace_log is None else JsonlTraceExporter(args.trace_log)
+    slow_s = None if args.slow_ms is None else args.slow_ms / 1e3
+    return Tracer(
+        capacity=args.trace_capacity, exporter=exporter, slow_threshold_s=slow_s
+    )
 
 
 def drain_and_stop(
@@ -99,6 +124,8 @@ def install_signal_handlers(
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_json_logging(stream=sys.stderr, level=args.log_level.upper())
+    tracer = build_tracer(args)
     try:
         if args.model is not None:
             if not args.model.exists():
@@ -112,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
                 max_queue=args.max_queue,
                 request_timeout_s=args.request_timeout_s,
                 drain_deadline_s=args.drain_deadline_s,
+                tracer=tracer,
             )
         else:
             service = LocalizationService(
@@ -122,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
                 max_queue=args.max_queue,
                 request_timeout_s=args.request_timeout_s,
                 drain_deadline_s=args.drain_deadline_s,
+                tracer=tracer,
             )
     except ModelRegistryError as exc:
         print(f"registry error: {exc}", file=sys.stderr)
@@ -141,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         server.server_close()
         service.close()
+        if tracer.exporter is not None:
+            tracer.exporter.close()
     print("drained; exiting", flush=True)
     return 0
 

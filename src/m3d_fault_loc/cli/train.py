@@ -8,12 +8,17 @@ Usage::
 Every graph — synthetic or loaded — passes through the ``m3dlint`` contract
 gate inside :class:`CircuitGraphDataset`; a contract violation aborts the run
 before the first epoch rather than after it.
+
+``--metrics-log runs/train.jsonl`` appends one JSONL record per epoch
+(loss, pre-clip gradient norm, learning rate, wall time) plus a final record
+with the held-out accuracy — the stream ``m3d-obs train`` summarizes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -21,7 +26,13 @@ import numpy as np
 from m3d_fault_loc.data.dataset import CircuitGraphDataset, GraphContractError
 from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
-from m3d_fault_loc.model.optim import Adam, NonFiniteLossError, clip_by_global_norm
+from m3d_fault_loc.model.optim import (
+    Adam,
+    NonFiniteLossError,
+    clip_by_global_norm,
+    global_grad_norm,
+)
+from m3d_fault_loc.obs.telemetry import TelemetryWriter
 from m3d_fault_loc.utils.seed import seed_everything
 
 
@@ -43,6 +54,7 @@ def train(
     seed: int = 0,
     clip_norm: float | None = None,
     log=print,
+    telemetry: TelemetryWriter | None = None,
 ) -> DelayFaultLocalizer:
     """Full-batch-per-graph training with minibatch gradient accumulation.
 
@@ -50,13 +62,16 @@ def train(
     trained past that point is garbage, and saving it would poison every
     downstream registry/serving step. ``clip_norm`` (optional) clips each
     accumulated minibatch gradient to that global L2 norm before the
-    optimizer step.
+    optimizer step. ``telemetry`` (optional) receives one ``epoch`` event
+    per epoch: mean loss, max pre-clip gradient norm, lr, wall time.
     """
     model = DelayFaultLocalizer(hidden=hidden, seed=seed)
     optimizer = Adam(model.params, lr=lr)
     for epoch in range(epochs):
+        epoch_t0 = time.perf_counter()
         order = rng.permutation(len(dataset))
         total_loss = 0.0
+        max_norm = 0.0
         for start in range(0, len(order), batch_size):
             batch = order[start : start + batch_size]
             grads = {k: np.zeros_like(v) for k, v in model.params.items()}
@@ -71,8 +86,22 @@ def train(
                 for k in grads:
                     grads[k] += g[k] / len(batch)
             if clip_norm is not None:
-                clip_by_global_norm(grads, clip_norm)
+                norm = clip_by_global_norm(grads, clip_norm)
+            elif telemetry is not None:
+                norm = global_grad_norm(grads)
+            else:
+                norm = 0.0
+            max_norm = max(max_norm, norm)
             optimizer.step(grads)
+        if telemetry is not None:
+            telemetry.emit(
+                "epoch",
+                epoch=epoch,
+                loss=round(total_loss / max(len(dataset), 1), 6),
+                grad_norm=round(max_norm, 6),
+                lr=lr,
+                wall_s=round(time.perf_counter() - epoch_t0, 6),
+            )
         if log is not None and (epoch == epochs - 1 or epoch % 5 == 0):
             acc = localization_accuracy(model, dataset)
             log(
@@ -108,6 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--save-data-dir", type=Path, default=None,
                         help="also serialize the training graphs for m3dlint check / reuse")
     parser.add_argument("--out", type=Path, default=Path("localizer.npz"))
+    parser.add_argument("--metrics-log", type=Path, default=None,
+                        help="append per-epoch telemetry (JSONL) for m3d-obs train")
     return parser
 
 
@@ -136,6 +167,7 @@ def main(argv: list[str] | None = None) -> int:
 
     train_set, test_set = dataset.split(rng, test_fraction=args.test_fraction)
     print(f"training on {len(train_set)} graphs, holding out {len(test_set)}")
+    telemetry = None if args.metrics_log is None else TelemetryWriter(args.metrics_log)
     try:
         model = train(
             train_set,
@@ -146,12 +178,25 @@ def main(argv: list[str] | None = None) -> int:
             hidden=args.hidden,
             seed=args.seed,
             clip_norm=args.clip_norm,
+            telemetry=telemetry,
         )
     except NonFiniteLossError as exc:
         print(f"training aborted: {exc}", file=sys.stderr)
+        if telemetry is not None:
+            telemetry.emit("aborted", reason="non_finite_loss", detail=str(exc))
+            telemetry.close()
         return 1
     test_acc = localization_accuracy(model, test_set)
     print(f"held-out localization accuracy: {test_acc:.3f}")
+    if telemetry is not None:
+        telemetry.emit(
+            "final",
+            epochs=args.epochs,
+            train_graphs=len(train_set),
+            test_graphs=len(test_set),
+            test_accuracy=round(test_acc, 4),
+        )
+        telemetry.close()
     saved = model.save(
         args.out,
         metadata={

@@ -1,0 +1,125 @@
+"""``m3d-obs`` — summarize observability artifacts from serving and training.
+
+Subcommands:
+
+- ``m3d-obs trace TRACE.jsonl [--top N] [--format json]`` — per-stage
+  latency percentiles (p50/p95/p99/max), status counts, and the slowest
+  requests from a ``--trace-log`` file written by the serving tracer.
+- ``m3d-obs train METRICS.jsonl [--format json]`` — loss / grad-norm /
+  epoch-wall-time trajectory and final held-out accuracy from a
+  ``--metrics-log`` file written by ``m3d-train`` / ``m3d-evaluate``.
+
+Exit codes: 0 ok, 2 unreadable or empty input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from m3d_fault_loc.obs.telemetry import read_jsonl, summarize_traces, summarize_training
+
+
+def _load(path: Path) -> list[dict[str, Any]] | None:
+    if not path.exists():
+        print(f"m3d-obs: no such file: {path}", file=sys.stderr)
+        return None
+    records = read_jsonl(path)
+    if not records:
+        print(f"m3d-obs: no records in {path}", file=sys.stderr)
+        return None
+    return records
+
+
+def _print_stage_table(stages: dict[str, dict[str, Any]]) -> None:
+    header = f"{'stage':<16} {'count':>6} {'p50ms':>9} {'p95ms':>9} {'p99ms':>9} {'maxms':>9}"
+    print(header)
+    print("-" * len(header))
+    for stage, s in stages.items():
+        print(
+            f"{stage:<16} {s['count']:>6} {s['p50_ms']:>9.3f} {s['p95_ms']:>9.3f} "
+            f"{s['p99_ms']:>9.3f} {s['max_ms']:>9.3f}"
+        )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    records = _load(args.path)
+    if records is None:
+        return 2
+    summary = summarize_traces(records, top=args.top)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+        return 0
+    total = summary["total"]
+    print(
+        f"{summary['traces']} traces  "
+        f"p50 {total['p50_ms']:.3f} ms  p95 {total['p95_ms']:.3f} ms  "
+        f"p99 {total['p99_ms']:.3f} ms  max {total['max_ms']:.3f} ms"
+    )
+    print(f"statuses: {summary['statuses']}")
+    print()
+    _print_stage_table(summary["stages"])
+    if summary["slowest"]:
+        print()
+        print(f"slowest {len(summary['slowest'])}:")
+        for t in summary["slowest"]:
+            print(
+                f"  {t['duration_ms']:>10.3f} ms  {t['status']:<20} "
+                f"{t['trace_id']}  ({t['name']})"
+            )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    records = _load(args.path)
+    if records is None:
+        return 2
+    summary = summarize_training(records)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(
+        f"{summary['epochs']} epochs  "
+        f"loss {summary['first_loss']} -> {summary['last_loss']} "
+        f"(best {summary['best_loss']})"
+    )
+    if summary["mean_epoch_wall_s"] is not None:
+        print(f"mean epoch wall time: {summary['mean_epoch_wall_s']} s")
+    if summary["max_grad_norm"] is not None:
+        print(f"max grad norm: {summary['max_grad_norm']}")
+    if "final" in summary:
+        print(f"final: {summary['final']}")
+    for ev in summary.get("evals", ()):
+        print(f"eval: {ev}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="m3d-obs", description="Summarize m3d trace and training telemetry logs."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="summarize a serving trace log (JSONL)")
+    trace.add_argument("path", type=Path)
+    trace.add_argument("--top", type=int, default=5, help="slowest requests to list")
+    trace.add_argument("--format", choices=("text", "json"), default="text")
+    trace.set_defaults(func=_cmd_trace)
+
+    train = sub.add_parser("train", help="summarize a training metrics log (JSONL)")
+    train.add_argument("path", type=Path)
+    train.add_argument("--format", choices=("text", "json"), default="text")
+    train.set_defaults(func=_cmd_train)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

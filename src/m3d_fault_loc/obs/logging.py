@@ -1,0 +1,131 @@
+"""Structured JSON logging with automatic trace-id propagation.
+
+Library code logs *events with fields*, not prose::
+
+    log = get_logger(__name__)
+    log.warning("breaker_transition", old="closed", new="open")
+
+Each call renders as one JSON object per line — timestamp, level, logger,
+event name, the fields, and the trace id bound to the current context (or
+passed explicitly as ``trace_id=`` by code running on another thread, such
+as the watchdog failing a victim request's future). Every line a request
+touches is greppable by one id.
+
+Everything funnels through the stdlib :mod:`logging` tree, so existing
+handlers, ``caplog``, and level configuration keep working; only the
+formatting and the field transport are new. m3dlint rule ``M3D207``
+(WARN repo-wide, ERROR under ``serve/``) keeps bare ``print()`` and
+root-``logging`` calls from bypassing this module.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, TextIO
+
+from m3d_fault_loc.obs.context import current_trace_id
+
+#: The logging-tree root every structured logger hangs off.
+ROOT_LOGGER_NAME = "m3d_fault_loc"
+
+#: Marker attribute identifying handlers installed by configure_json_logging.
+_HANDLER_MARK = "_m3d_json_handler"
+
+
+class JSONLineFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, trace id, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        trace_id = getattr(record, "m3d_trace_id", None)
+        if trace_id:
+            payload["trace_id"] = trace_id
+        fields = getattr(record, "m3d_fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = str(record.exc_info[1])
+        return json.dumps(payload, default=str)
+
+
+class StructuredLogger:
+    """Event-style front end over one stdlib logger.
+
+    The trace id is captured at *call* time from the ambient context (so the
+    formatter never races a context switch); pass ``trace_id=`` explicitly
+    when logging about a request from a thread that never entered its
+    context (worker, watchdog).
+    """
+
+    __slots__ = ("name", "_logger")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._logger = logging.getLogger(name)
+
+    def _log(
+        self, level: int, event: str, fields: dict[str, Any], exc_info: bool = False
+    ) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        trace_id = fields.pop("trace_id", None) or current_trace_id()
+        self._logger.log(
+            level,
+            event,
+            extra={"m3d_fields": fields, "m3d_trace_id": trace_id},
+            exc_info=exc_info,
+        )
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields)
+
+    def exception(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields, exc_info=True)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The structured logger for ``name`` (usually ``__name__``)."""
+    return StructuredLogger(name)
+
+
+def configure_json_logging(
+    stream: TextIO | None = None,
+    level: int | str = logging.INFO,
+    logger_name: str = ROOT_LOGGER_NAME,
+) -> logging.Handler:
+    """Attach one JSON-lines handler to the package logger tree.
+
+    Idempotent: a second call replaces the previously installed JSON handler
+    instead of stacking a duplicate. Returns the installed handler so
+    callers (the serve CLI, tests) can flush or remove it.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(logger_name)
+    for existing in list(root.handlers):
+        if getattr(existing, _HANDLER_MARK, False):
+            root.removeHandler(existing)
+    handler = logging.StreamHandler(stream) if stream is not None else logging.StreamHandler()
+    handler.setFormatter(JSONLineFormatter())
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

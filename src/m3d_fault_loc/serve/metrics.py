@@ -135,8 +135,11 @@ class Histogram:
     kind = "histogram"
 
     def __init__(self, name: str, help_text: str, buckets: tuple[float, ...]):
-        if not buckets or list(buckets) != sorted(buckets):
-            raise ValueError(f"histogram {name} needs sorted, non-empty buckets")
+        # Strictly increasing, not merely sorted: a duplicate bound would
+        # collapse two buckets onto one `le=` label and corrupt the
+        # cumulative counts in both snapshot() and the text exposition.
+        if not buckets or any(a >= b for a, b in zip(buckets, buckets[1:])):
+            raise ValueError(f"histogram {name} needs strictly increasing, non-empty buckets")
         self.name = name
         self.help_text = help_text
         self.buckets = tuple(float(b) for b in buckets)
@@ -163,6 +166,32 @@ class Histogram:
     def sum(self) -> float:
         with self._lock:
             return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile estimate (Prometheus-style).
+
+        Returns 0.0 for an empty histogram, the mean (``sum/count``) for a
+        single observation — the best point estimate a bucketed histogram
+        can give — and, when the target rank lands past the last finite
+        bucket, the last finite bound (no upper edge to interpolate toward).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            if self._count == 1:
+                return self._sum
+            target = (q / 100.0) * self._count
+            cumulative = 0
+            for i, n in enumerate(self._bucket_counts):
+                cumulative += n
+                if cumulative >= target and n > 0:
+                    lo = self.buckets[i - 1] if i > 0 else 0.0
+                    hi = self.buckets[i]
+                    frac = (target - (cumulative - n)) / n
+                    return lo + max(0.0, min(1.0, frac)) * (hi - lo)
+            return self.buckets[-1]
 
     def snapshot(self) -> dict[str, Any]:
         """Cumulative bucket counts keyed by upper bound, plus sum/count."""

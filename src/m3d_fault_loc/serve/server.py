@@ -16,6 +16,17 @@ Endpoints:
   ``ok``/``degraded``, 503 otherwise).
 - ``GET /metrics`` — Prometheus text by default, JSON with ``?format=json``.
 - ``GET /model`` — active model manifest + cache statistics.
+- ``GET /debug/traces`` — the N most recent completed request traces (and
+  the slow-request ring) from the service tracer, for latency triage
+  without log archaeology.
+
+Every request is assigned a trace id (a well-formed inbound
+``X-M3D-Trace-Id`` header is honored, anything else replaced) that is bound
+to the handler thread's context — so the service's spans, every structured
+log line, and the response all carry the same id. The id is returned in the
+``X-M3D-Trace-Id`` response header on **every** outcome (200/4xx/5xx) and
+echoed in JSON error bodies, making a client-observed 504/429/503 directly
+correlatable with the server-side trace.
 
 Built on ``ThreadingHTTPServer`` so each connection blocks on its own future
 while the service worker micro-batches across connections — concurrency
@@ -25,7 +36,6 @@ without any dependency beyond the standard library.
 from __future__ import annotations
 
 import json
-import logging
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -33,6 +43,9 @@ from urllib.parse import parse_qs, urlparse
 
 from m3d_fault_loc.data.dataset import GraphContractError
 from m3d_fault_loc.graph.schema import CircuitGraph
+from m3d_fault_loc.obs.context import current_trace_id, new_trace_id, sanitize_trace_id
+from m3d_fault_loc.obs.context import trace_context as _trace_context
+from m3d_fault_loc.obs.logging import get_logger
 from m3d_fault_loc.serve.resilience import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -42,7 +55,14 @@ from m3d_fault_loc.serve.resilience import (
 )
 from m3d_fault_loc.serve.service import LocalizationService
 
-logger = logging.getLogger(__name__)
+log = get_logger(__name__)
+
+#: Response header carrying the request's trace id on every outcome.
+TRACE_HEADER = "X-M3D-Trace-Id"
+
+#: Default (and maximum) number of traces returned by ``/debug/traces``.
+DEFAULT_DEBUG_TRACES = 20
+MAX_DEBUG_TRACES = 256
 
 #: Default cap on request bodies; override per server with ``max_body_bytes``.
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -97,7 +117,11 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:
-        logger.debug("%s - %s", self.address_string(), format % args)
+        log.debug("http_access", client=self.address_string(), line=format % args)
+
+    def _request_trace_id(self) -> str:
+        """Honor a well-formed inbound trace id; mint one otherwise."""
+        return sanitize_trace_id(self.headers.get(TRACE_HEADER)) or new_trace_id()
 
     def _send_json(
         self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
@@ -106,6 +130,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -116,6 +143,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -144,6 +174,10 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        with _trace_context(self._request_trace_id()):
+            self._handle_get()
+
+    def _handle_get(self) -> None:
         url = urlparse(self.path)
         if url.path == "/healthz":
             health = self.server.service.health_snapshot()
@@ -167,10 +201,30 @@ class _Handler(BaseHTTPRequestHandler):
                     "cache": self.server.service.cache_stats(),
                 },
             )
+        elif url.path == "/debug/traces":
+            try:
+                n = int(parse_qs(url.query).get("n", [str(DEFAULT_DEBUG_TRACES)])[0])
+            except ValueError:
+                self._send_json(400, {"error": "bad_request", "detail": '"n" must be an integer'})
+                return
+            n = max(1, min(n, MAX_DEBUG_TRACES))
+            tracer = self.server.service.tracer
+            self._send_json(
+                200,
+                {
+                    "traces": tracer.recent(n),
+                    "slow": tracer.slow(n),
+                    "stats": tracer.stats(),
+                },
+            )
         else:
             self._send_json(404, {"error": "not_found", "path": url.path})
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        with _trace_context(self._request_trace_id()) as trace_id:
+            self._handle_post(trace_id)
+
+    def _handle_post(self, trace_id: str) -> None:
         if urlparse(self.path).path != "/localize":
             self._send_json(404, {"error": "not_found", "path": self.path})
             return
@@ -186,11 +240,14 @@ class _Handler(BaseHTTPRequestHandler):
                     "detail": str(exc),
                     "limit_bytes": exc.limit,
                     "got_bytes": exc.length,
+                    "trace_id": trace_id,
                 },
             )
             return
         except _BadRequest as exc:
-            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
+            self._send_json(
+                400, {"error": "bad_request", "detail": str(exc), "trace_id": trace_id}
+            )
             return
         try:
             result = self.server.service.localize(graph, top_k=top_k, timeout_s=timeout_s)
@@ -201,6 +258,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "error": "contract_violation",
                     "graph": exc.graph_name,
                     "violations": [v.to_json_dict() for v in exc.violations],
+                    "trace_id": trace_id,
                 },
             )
             return
@@ -211,6 +269,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "error": "load_shed",
                     "detail": str(exc),
                     "retry_after_s": exc.retry_after_s,
+                    "trace_id": trace_id,
                 },
                 headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
             )
@@ -222,6 +281,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "error": "circuit_open",
                     "detail": str(exc),
                     "retry_after_s": exc.retry_after_s,
+                    "trace_id": trace_id,
                 },
                 headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
             )
@@ -234,22 +294,33 @@ class _Handler(BaseHTTPRequestHandler):
                     "error": "deadline_exceeded",
                     "detail": str(exc) or "localization timed out",
                     "deadline_ms": None if deadline_s is None else round(deadline_s * 1e3, 3),
+                    "trace_id": trace_id,
                 },
             )
             return
         except WorkerCrashedError as exc:
-            self._send_json(503, {"error": "worker_crashed", "detail": str(exc)})
+            self._send_json(
+                503, {"error": "worker_crashed", "detail": str(exc), "trace_id": trace_id}
+            )
             return
         except (ServiceDrainingError, RuntimeError) as exc:
             if isinstance(exc, ServiceDrainingError) or "closed" in str(exc):
-                self._send_json(503, {"error": "draining", "detail": str(exc)})
+                self._send_json(
+                    503, {"error": "draining", "detail": str(exc), "trace_id": trace_id}
+                )
                 return
-            logger.exception("localization failed")
-            self._send_json(500, {"error": "internal", "detail": "localization failed"})
+            log.exception("localization_failed")
+            self._send_json(
+                500,
+                {"error": "internal", "detail": "localization failed", "trace_id": trace_id},
+            )
             return
         except Exception:
-            logger.exception("localization failed")
-            self._send_json(500, {"error": "internal", "detail": "localization failed"})
+            log.exception("localization_failed")
+            self._send_json(
+                500,
+                {"error": "internal", "detail": "localization failed", "trace_id": trace_id},
+            )
             return
         self._send_json(200, result.to_json_dict())
 

@@ -33,7 +33,6 @@ the current model serving and is counted, never propagated to callers.
 
 from __future__ import annotations
 
-import logging
 import queue
 import threading
 import time
@@ -48,8 +47,11 @@ from m3d_fault_loc.analysis.engine import RuleEngine, default_engine
 from m3d_fault_loc.data.dataset import GraphContractError, gate_graph
 from m3d_fault_loc.graph.schema import CircuitGraph
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.obs.context import current_trace_id, new_trace_id
+from m3d_fault_loc.obs.logging import get_logger
+from m3d_fault_loc.obs.trace import Tracer
 from m3d_fault_loc.serve.cache import LRUResultCache, graph_digest
-from m3d_fault_loc.serve.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from m3d_fault_loc.serve.metrics import DEFAULT_SIZE_BUCKETS, Histogram, MetricsRegistry
 from m3d_fault_loc.serve.registry import ModelManifest, ModelRegistry
 from m3d_fault_loc.serve.resilience import (
     CircuitBreaker,
@@ -63,7 +65,7 @@ from m3d_fault_loc.serve.resilience import (
     WorkerCrashedError,
 )
 
-logger = logging.getLogger(__name__)
+log = get_logger(__name__)
 
 #: How often an idle worker wakes to check for stop/generation changes.
 _IDLE_POLL_S = 0.05
@@ -84,6 +86,7 @@ class LocalizationResult:
     warnings: tuple[str, ...]
     cached: bool = False
     latency_s: float = 0.0
+    trace_id: str = ""
 
     def to_json_dict(self) -> dict[str, Any]:
         return {
@@ -95,6 +98,7 @@ class LocalizationResult:
             "warnings": list(self.warnings),
             "cached": self.cached,
             "latency_ms": round(self.latency_s * 1e3, 3),
+            "trace_id": self.trace_id,
         }
 
 
@@ -105,6 +109,8 @@ class _Pending:
     top_k: int
     warnings: tuple[str, ...]
     deadline: Deadline
+    trace_id: str = ""
+    enqueued_at: float = 0.0
     future: Future = field(default_factory=Future)
 
     def complete(self, result: LocalizationResult) -> bool:
@@ -148,6 +154,7 @@ class LocalizationService:
         restart_backoff: ExponentialBackoff | None = None,
         unhealthy_after: int = 3,
         drain_deadline_s: float = 5.0,
+        tracer: Tracer | None = None,
     ):
         if (model is None) == (registry is None):
             raise ValueError("pass exactly one of model= or registry=")
@@ -180,6 +187,7 @@ class LocalizationService:
         self._draining = False
         self._closed = False
         self._failed_ref: tuple[str, str] | None = None
+        self.tracer = tracer or Tracer()
 
         self.metrics = metrics or MetricsRegistry()
         m = self.metrics
@@ -230,6 +238,18 @@ class LocalizationService:
         self.m_latency = m.histogram(
             "m3d_request_latency_seconds", "end-to-end localization latency"
         )
+        self.m_stage_contract = m.histogram(
+            "m3d_stage_contract_seconds", "per-stage latency: m3dlint contract gate"
+        )
+        self.m_stage_cache = m.histogram(
+            "m3d_stage_cache_lookup_seconds", "per-stage latency: digest + result-cache lookup"
+        )
+        self.m_stage_queue = m.histogram(
+            "m3d_stage_queue_wait_seconds", "per-stage latency: admission-queue wait"
+        )
+        self.m_stage_infer = m.histogram(
+            "m3d_stage_inference_seconds", "per-stage latency: batched model forward pass"
+        )
 
         self._breaker = breaker or CircuitBreaker()
         self._breaker.set_transition_listener(self._on_breaker_transition)
@@ -254,12 +274,25 @@ class LocalizationService:
         self.m_breaker_state.set_state(new)
         if new == CircuitBreaker.OPEN:
             self.m_breaker_trips.inc()
-        logger.warning("circuit breaker: %s -> %s", old, new)
+        log.warning("breaker_transition", old=old, new=new)
 
     def _on_health_transition(self, old: str, new: str) -> None:
         self.m_health_state.set_state(new)
-        log = logger.info if new == HealthMonitor.OK else logger.warning
-        log("health: %s -> %s", old, new)
+        emit = log.info if new == HealthMonitor.OK else log.warning
+        emit("health_transition", old=old, new=new)
+
+    def _observe_stage(
+        self,
+        stage: str,
+        histogram: Histogram,
+        trace_id: str,
+        duration_s: float,
+        parent: str | None = None,
+        **meta: Any,
+    ) -> None:
+        """One measured pipeline stage: feed the histogram and the trace."""
+        histogram.observe(duration_s)
+        self.tracer.record(trace_id, stage, duration_s, parent=parent, **meta)
 
     # -- model identity ----------------------------------------------------
 
@@ -322,7 +355,7 @@ class LocalizationService:
         try:
             ref = self.registry.active_ref()
         except Exception:
-            logger.exception("reading ACTIVE pointer failed; keeping %s", self._active_ref)
+            log.exception("active_pointer_read_failed", keeping=self._active_ref)
             self.m_reload_failures.inc()
             return
         if ref is None or ref == self._active_ref or ref == self._failed_ref:
@@ -333,9 +366,7 @@ class LocalizationService:
             try:
                 model, manifest = self.registry.load(*ref)
             except Exception:
-                logger.exception(
-                    "hot reload to %s failed; keeping %s serving", ref, self._active_ref
-                )
+                log.exception("hot_reload_failed", target=ref, keeping=self._active_ref)
                 self._failed_ref = ref
                 self.m_reload_failures.inc()
                 return
@@ -344,6 +375,7 @@ class LocalizationService:
             self._failed_ref = None
             self._cache.clear()
             self.m_reloads.inc()
+            log.info("model_reloaded", name=ref[0], version=ref[1])
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -452,22 +484,59 @@ class LocalizationService:
         self.start()
         started = time.perf_counter()
         deadline = Deadline.after(timeout_s if timeout_s is not None else self.request_timeout_s)
+        trace_id = current_trace_id() or new_trace_id()
         self.m_requests.inc()
+        with self.tracer.trace("localize", trace_id=trace_id, graph=graph.name):
+            return self._localize_traced(graph, top_k, deadline, started, trace_id)
+
+    def _localize_traced(
+        self,
+        graph: CircuitGraph,
+        top_k: int,
+        deadline: Deadline,
+        started: float,
+        trace_id: str,
+    ) -> LocalizationResult:
+        """The traced request body: every stage lands in a span + histogram.
+
+        Top-level stages (``contract_gate``, ``cache_lookup``,
+        ``await_result``) partition the request's wall time; the worker-side
+        ``queue_wait`` / ``batch_infer`` spans are children of
+        ``await_result`` (tagged ``parent``), so summing the top level
+        reconstructs the request total while the children explain where the
+        await went.
+        """
+        t0 = time.perf_counter()
         try:
             warnings = gate_graph(graph, self._engine)
         except GraphContractError:
             self.m_rejections.inc()
+            self._observe_stage(
+                "contract_gate", self.m_stage_contract, trace_id, time.perf_counter() - t0
+            )
             raise
+        self._observe_stage(
+            "contract_gate", self.m_stage_contract, trace_id, time.perf_counter() - t0
+        )
+
+        t0 = time.perf_counter()
         self._maybe_reload()
         digest = graph_digest(graph)
         _, _, prefix = self._model_state
         key = f"{prefix}:{top_k}:{digest}"
         hit = self._cache.get(key)
+        self._observe_stage(
+            "cache_lookup",
+            self.m_stage_cache,
+            trace_id,
+            time.perf_counter() - t0,
+            hit=hit is not None,
+        )
         if hit is not None:
             self.m_cache_hits.inc()
             latency = time.perf_counter() - started
             self.m_latency.observe(latency)
-            return replace(hit, cached=True, latency_s=latency)
+            return replace(hit, cached=True, latency_s=latency, trace_id=trace_id)
 
         if not self._breaker.allow():
             self.m_breaker_rejections.inc()
@@ -479,27 +548,30 @@ class LocalizationService:
             top_k=top_k,
             warnings=tuple(v.render() for v in warnings),
             deadline=deadline,
+            trace_id=trace_id,
         )
+        pending.enqueued_at = time.perf_counter()
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
             self.m_shed.inc()
             raise LoadSheddedError(self.max_queue, self.shed_retry_after_s) from None
         self.m_queue_depth.set(self._queue.qsize())
-        try:
-            result: LocalizationResult = pending.future.result(timeout=deadline.remaining())
-        except FutureTimeoutError:
-            self.m_deadline.inc()
-            raise DeadlineExceededError(deadline.budget_s, where="await") from None
-        except DeadlineExceededError:
-            self.m_deadline.inc()
-            raise
-        except Exception:
-            self.m_errors.inc()
-            raise
+        with self.tracer.span("await_result", trace_id=trace_id):
+            try:
+                result: LocalizationResult = pending.future.result(timeout=deadline.remaining())
+            except FutureTimeoutError:
+                self.m_deadline.inc()
+                raise DeadlineExceededError(deadline.budget_s, where="await") from None
+            except DeadlineExceededError:
+                self.m_deadline.inc()
+                raise
+            except Exception:
+                self.m_errors.inc()
+                raise
         latency = time.perf_counter() - started
         self.m_latency.observe(latency)
-        return replace(result, latency_s=latency)
+        return replace(result, latency_s=latency, trace_id=trace_id)
 
     # -- worker ------------------------------------------------------------
 
@@ -522,6 +594,15 @@ class LocalizationService:
                 live = self._drop_expired(batch)
                 if not live:
                     continue
+                dequeued = time.perf_counter()
+                for p in live:
+                    self._observe_stage(
+                        "queue_wait",
+                        self.m_stage_queue,
+                        p.trace_id,
+                        max(0.0, dequeued - p.enqueued_at),
+                        parent="await_result",
+                    )
                 # Gen-guarded: a worker superseded mid-batch by the watchdog
                 # must not clobber its replacement's in-flight record.
                 with self._flight_lock:
@@ -535,7 +616,7 @@ class LocalizationService:
             except Exception:
                 # A worker that dies silently strands every queued future;
                 # anything short of thread death must keep the loop alive.
-                logger.exception("batch worker iteration failed; continuing")
+                log.exception("worker_iteration_failed")
 
     def _collect_batch(self, first: _Pending) -> list[_Pending]:
         batch = [first]
@@ -566,13 +647,26 @@ class LocalizationService:
 
     def _run_batch(self, batch: list[_Pending]) -> None:
         model, info, prefix = self._model_state
+        t0 = time.perf_counter()
         try:
             scores_per_graph = model.node_scores_batch([p.graph for p in batch])
         except Exception as exc:
             self._breaker.record_failure()
             for p in batch:
+                log.error(
+                    "batch_failed",
+                    trace_id=p.trace_id,
+                    error=type(exc).__name__,
+                    batch=len(batch),
+                )
                 p.fail(exc)
             return
+        infer_s = time.perf_counter() - t0
+        self.m_stage_infer.observe(infer_s)
+        for p in batch:
+            self.tracer.record(
+                p.trace_id, "batch_infer", infer_s, parent="await_result", batch=len(batch)
+            )
         self._breaker.record_success()
         self._health.record_success()
         self._restart_backoff.reset()
@@ -600,7 +694,7 @@ class LocalizationService:
                 if not (dead or stalled):
                     continue
                 reason = "batch worker thread died" if dead else "batch worker stalled"
-                logger.error("watchdog: %s; failing stranded requests and restarting", reason)
+                log.error("watchdog_restart", reason=reason)
                 self._health.record_worker_failure(reason)
                 self.m_worker_restarts.inc()
                 self._worker_gen += 1  # a stalled-but-alive worker exits when it unblocks
@@ -611,7 +705,7 @@ class LocalizationService:
                     if not self._closed:
                         self._spawn_worker()
             except Exception:
-                logger.exception("watchdog iteration failed; continuing")
+                log.exception("watchdog_iteration_failed")
 
     def _stalled(self) -> bool:
         if self.stall_timeout_s is None:
@@ -622,7 +716,12 @@ class LocalizationService:
         return busy and (time.monotonic() - self._heartbeat) > self.stall_timeout_s
 
     def _fail_pending(self, exc: BaseException) -> int:
-        """Fail every stranded request (in-flight + queued); returns count."""
+        """Fail every stranded request (in-flight + queued); returns count.
+
+        Each victim is logged with *its own* trace id — the watchdog and the
+        drain path run far from the request's thread, so the ambient context
+        cannot name the casualties; the pending record can.
+        """
         with self._flight_lock:
             stranded = list(self._in_flight)
             self._in_flight = []
@@ -634,7 +733,17 @@ class LocalizationService:
             if item is not None:
                 stranded.append(item)
         self.m_queue_depth.set(0)
-        return sum(1 for p in stranded if p.fail(exc))
+        failed = 0
+        for p in stranded:
+            if p.fail(exc):
+                failed += 1
+                log.warning(
+                    "pending_request_failed",
+                    trace_id=p.trace_id,
+                    error=type(exc).__name__,
+                    detail=str(exc),
+                )
+        return failed
 
     @staticmethod
     def _build_result(
@@ -663,4 +772,5 @@ class LocalizationService:
             num_nodes=graph.num_nodes,
             top=top,
             warnings=pending.warnings,
+            trace_id=pending.trace_id,
         )

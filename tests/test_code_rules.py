@@ -241,3 +241,68 @@ def test_serve_sources_pass_the_thread_loop_rule():
     for source_file in sorted(serve_dir.glob("*.py")):
         violations = lint_source(source_file.read_text(), source_file)
         assert not [v for v in violations if v.rule_id == "M3D206"], source_file
+
+
+# -- M3D207 print()/root-logging in library code ---------------------------
+
+
+def test_print_in_library_code_warns():
+    src = "def load(path):\n    print('loading', path)\n    return path\n"
+    violations = lint_source(src, Path("src/m3d_fault_loc/data/loader.py"))
+    (finding,) = [v for v in violations if v.rule_id == "M3D207"]
+    assert finding.severity is Severity.WARNING
+    assert "trace id" in finding.message
+
+
+def test_print_inside_serve_is_error():
+    src = "def handle(req):\n    print('got', req)\n"
+    violations = lint_source(src, Path("src/m3d_fault_loc/serve/handler.py"))
+    (finding,) = [v for v in violations if v.rule_id == "M3D207"]
+    assert finding.severity is Severity.ERROR
+
+
+def test_root_logging_calls_flagged():
+    src = (
+        "import logging\n"
+        "logging.basicConfig()\n"
+        "def run():\n"
+        "    logging.info('started')\n"
+        "    logging.warning('odd')\n"
+    )
+    violations = [
+        v for v in lint_source(src, Path("src/m3d_fault_loc/model/train_loop.py"))
+        if v.rule_id == "M3D207"
+    ]
+    assert len(violations) == 3
+    assert all("root-logger" in v.message for v in violations)
+
+
+def test_named_logger_and_structured_logger_clean():
+    src = (
+        "import logging\n"
+        "from m3d_fault_loc.obs.logging import get_logger\n"
+        "log = get_logger(__name__)\n"
+        "stdlog = logging.getLogger(__name__)\n"
+        "def run():\n"
+        "    log.info('event', x=1)\n"
+        "    stdlog.debug('fine')\n"
+    )
+    assert "M3D207" not in fired(src, Path("src/m3d_fault_loc/serve/service.py"))
+
+
+def test_cli_scripts_and_tests_are_exempt():
+    src = "def main():\n    print('model saved')\n"
+    for path in (
+        Path("src/m3d_fault_loc/cli/train.py"),
+        Path("src/m3d_fault_loc/obs/cli.py"),
+        Path("scripts/serve_smoke.py"),
+        Path("tests/test_something.py"),
+    ):
+        assert "M3D207" not in fired(src, path), path
+
+
+def test_library_sources_pass_the_output_rule():
+    src_root = Path(__file__).resolve().parents[1] / "src" / "m3d_fault_loc"
+    for source_file in sorted(src_root.rglob("*.py")):
+        violations = lint_source(source_file.read_text(), source_file)
+        assert not [v for v in violations if v.rule_id == "M3D207"], source_file

@@ -1,0 +1,102 @@
+"""Structured JSON logging: trace-id capture, field transport, idempotent setup."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from m3d_fault_loc.obs.context import new_trace_id, sanitize_trace_id, trace_context
+from m3d_fault_loc.obs.logging import (
+    JSONLineFormatter,
+    configure_json_logging,
+    get_logger,
+)
+
+
+@pytest.fixture()
+def json_stream():
+    stream = io.StringIO()
+    handler = configure_json_logging(stream=stream, level=logging.DEBUG, logger_name="obs_t")
+    yield stream
+    logging.getLogger("obs_t").removeHandler(handler)
+
+
+def lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_event_and_fields_render_as_one_json_line(json_stream):
+    get_logger("obs_t.svc").warning("breaker_transition", old="closed", new="open")
+    (record,) = lines(json_stream)
+    assert record["event"] == "breaker_transition"
+    assert record["level"] == "warning"
+    assert record["logger"] == "obs_t.svc"
+    assert record["old"] == "closed" and record["new"] == "open"
+    assert "trace_id" not in record  # no ambient context bound
+
+
+def test_ambient_trace_id_attached_at_call_time(json_stream):
+    with trace_context("ambient-trace-1"):
+        get_logger("obs_t.svc").info("cache_hit", graph="g")
+    (record,) = lines(json_stream)
+    assert record["trace_id"] == "ambient-trace-1"
+
+
+def test_explicit_trace_id_wins_over_ambient(json_stream):
+    with trace_context("ambient-trace-2"):
+        get_logger("obs_t.svc").warning("pending_request_failed", trace_id="victim-1x")
+    (record,) = lines(json_stream)
+    assert record["trace_id"] == "victim-1x"
+
+
+def test_exception_logging_captures_type_and_message(json_stream):
+    log = get_logger("obs_t.svc")
+    try:
+        raise RuntimeError("kaboom")
+    except RuntimeError:
+        log.exception("localization_failed", graph="g")
+    (record,) = lines(json_stream)
+    assert record["exc_type"] == "RuntimeError"
+    assert record["exc"] == "kaboom"
+    assert record["graph"] == "g"
+
+
+def test_configure_is_idempotent_not_stacking(json_stream):
+    stream2 = io.StringIO()
+    handler = configure_json_logging(stream=stream2, level=logging.DEBUG, logger_name="obs_t")
+    try:
+        get_logger("obs_t.svc").info("once")
+        assert lines(json_stream) == []  # old handler was replaced, not kept
+        assert len(lines(stream2)) == 1
+    finally:
+        logging.getLogger("obs_t").removeHandler(handler)
+
+
+def test_unknown_level_string_rejected():
+    with pytest.raises(ValueError):
+        configure_json_logging(level="LOUD", logger_name="obs_t_nope")
+
+
+def test_structured_records_visible_to_caplog(caplog):
+    with caplog.at_level(logging.WARNING, logger="m3d_fault_loc"):
+        get_logger("m3d_fault_loc.test_obs").warning("watchdog_restart", reason="stall")
+    (record,) = [r for r in caplog.records if r.getMessage() == "watchdog_restart"]
+    assert record.m3d_fields == {"reason": "stall"}
+
+
+def test_formatter_serializes_non_json_values():
+    formatter = JSONLineFormatter()
+    record = logging.LogRecord("n", logging.INFO, "p", 1, "event", (), None)
+    record.m3d_fields = {"path": object()}
+    assert "event" in json.loads(formatter.format(record))["event"]
+
+
+def test_trace_id_sanitizer_and_generator():
+    assert sanitize_trace_id("abcDEF12-_") == "abcDEF12-_"
+    assert sanitize_trace_id("short") is None
+    assert sanitize_trace_id('x" inject:8') is None
+    assert sanitize_trace_id("a" * 65) is None
+    assert sanitize_trace_id(None) is None
+    generated = new_trace_id()
+    assert sanitize_trace_id(generated) == generated

@@ -1,0 +1,118 @@
+"""Telemetry streams and the m3d-obs summarizer CLI."""
+
+import json
+
+import pytest
+
+from m3d_fault_loc.obs.cli import main as obs_main
+from m3d_fault_loc.obs.telemetry import (
+    TelemetryWriter,
+    percentile,
+    read_jsonl,
+    summarize_traces,
+    summarize_training,
+)
+
+
+def test_writer_appends_timestamped_records(tmp_path):
+    path = tmp_path / "run" / "train.jsonl"
+    with TelemetryWriter(path) as writer:
+        writer.emit("epoch", epoch=0, loss=1.5)
+        writer.emit("epoch", epoch=1, loss=0.9)
+    records = read_jsonl(path)
+    assert [r["epoch"] for r in records] == [0, 1]
+    assert all(r["ts"] > 0 and r["event"] == "epoch" for r in records)
+
+
+def test_read_jsonl_skips_blank_and_torn_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"event": "a"}\n\n{"event": "b"}\n{"event": "c", "x"')
+    assert [r["event"] for r in read_jsonl(path)] == ["a", "b"]
+
+
+def test_percentile_edge_cases():
+    assert percentile([], 95.0) == 0.0
+    assert percentile([7.0], 50.0) == 7.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+    assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+
+
+def _trace(tid, total_ms, stages, status="ok"):
+    return {
+        "trace_id": tid,
+        "name": "localize",
+        "status": status,
+        "duration_ms": total_ms,
+        "spans": [{"stage": s, "duration_ms": d} for s, d in stages],
+    }
+
+
+def test_summarize_traces_per_stage_and_slowest():
+    traces = [
+        _trace("t-1", 10.0, [("queue_wait", 2.0), ("batch_infer", 7.0)]),
+        _trace("t-2", 30.0, [("queue_wait", 20.0), ("batch_infer", 9.0)], status="timeout"),
+        _trace("t-3", 5.0, [("batch_infer", 4.0)]),
+    ]
+    summary = summarize_traces(traces, top=2)
+    assert summary["traces"] == 3
+    assert summary["statuses"] == {"ok": 2, "timeout": 1}
+    assert summary["stages"]["queue_wait"]["count"] == 2
+    assert summary["stages"]["batch_infer"]["max_ms"] == 9.0
+    assert [t["trace_id"] for t in summary["slowest"]] == ["t-2", "t-1"]
+    assert summary["total"]["p50_ms"] == 10.0
+
+
+def test_summarize_training_trajectory():
+    records = [
+        {"event": "epoch", "epoch": 0, "loss": 2.0, "wall_s": 0.5, "grad_norm": 3.0},
+        {"event": "epoch", "epoch": 1, "loss": 1.0, "wall_s": 0.7, "grad_norm": 9.0},
+        {"event": "final", "ts": 1.0, "test_accuracy": 0.8},
+        {"event": "eval", "ts": 2.0, "top1": 0.7, "k": 3, "top_k_accuracy": 0.9},
+    ]
+    summary = summarize_training(records)
+    assert summary["epochs"] == 2
+    assert summary["first_loss"] == 2.0 and summary["last_loss"] == 1.0
+    assert summary["best_loss"] == 1.0
+    assert summary["mean_epoch_wall_s"] == 0.6
+    assert summary["max_grad_norm"] == 9.0
+    assert summary["final"]["test_accuracy"] == 0.8
+    assert summary["evals"][0]["top_k_accuracy"] == 0.9
+
+
+def test_obs_cli_trace_text_and_json(tmp_path, capsys):
+    path = tmp_path / "traces.jsonl"
+    with path.open("w") as handle:
+        for trace in (
+            _trace("t-aaaa", 12.0, [("batch_infer", 10.0)]),
+            _trace("t-bbbb", 3.0, [("batch_infer", 2.0)]),
+        ):
+            handle.write(json.dumps(trace) + "\n")
+
+    assert obs_main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 traces" in out and "batch_infer" in out and "t-aaaa" in out
+
+    assert obs_main(["trace", str(path), "--format", "json", "--top", "1"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["traces"] == 2
+    assert [t["trace_id"] for t in summary["slowest"]] == ["t-aaaa"]
+
+
+def test_obs_cli_train_summary(tmp_path, capsys):
+    path = tmp_path / "train.jsonl"
+    with TelemetryWriter(path) as writer:
+        writer.emit("epoch", epoch=0, loss=2.0, wall_s=0.1, grad_norm=1.0, lr=0.01)
+        writer.emit("final", test_accuracy=0.75)
+    assert obs_main(["train", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 epochs" in out and "0.75" in out
+
+
+def test_obs_cli_missing_or_empty_file_exits_2(tmp_path, capsys):
+    assert obs_main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n")
+    assert obs_main(["train", str(empty)]) == 2
+    assert "m3d-obs" in capsys.readouterr().err

@@ -1,8 +1,14 @@
 """Metrics instruments: semantics, registry idempotence, both export formats."""
 
+import sys
+from pathlib import Path
+
 import pytest
 
-from m3d_fault_loc.serve.metrics import MetricsRegistry
+from m3d_fault_loc.serve.metrics import Histogram, MetricsRegistry
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+from check_prom import check_exposition  # noqa: E402 - scripts/ is not a package
 
 
 def test_counter_monotonic():
@@ -60,3 +66,85 @@ def test_json_export_shape():
     assert payload["m3d_a_total"] == {"type": "counter", "help": "", "value": 1}
     assert payload["m3d_b"]["type"] == "histogram"
     assert payload["m3d_b"]["buckets"]["+Inf"] == 1
+
+
+# -- empty / single-observation histograms ---------------------------------
+
+
+def test_empty_histogram_snapshot_and_exposition_are_valid():
+    h = Histogram("m3d_empty_seconds", "never observed", buckets=(0.1, 1.0))
+    snap = h.snapshot()
+    assert snap == {"buckets": {"0.1": 0, "1": 0, "+Inf": 0}, "sum": 0.0, "count": 0}
+    lines = h.render_prometheus()
+    assert 'm3d_empty_seconds_bucket{le="+Inf"} 0' in lines
+    assert "m3d_empty_seconds_sum 0" in lines
+    assert "m3d_empty_seconds_count 0" in lines
+    assert h.percentile(99.0) == 0.0
+
+
+def test_single_observation_histogram_accounting():
+    h = Histogram("m3d_one_seconds", "one sample", buckets=(0.1, 1.0))
+    h.observe(0.25)
+    snap = h.snapshot()
+    assert snap["buckets"] == {"0.1": 0, "1": 1, "+Inf": 1}
+    assert snap["sum"] == pytest.approx(0.25)
+    assert snap["count"] == 1
+    # one sample: every percentile is that sample, exactly — no bucket smearing
+    assert h.percentile(50.0) == pytest.approx(0.25)
+    assert h.percentile(99.0) == pytest.approx(0.25)
+
+
+def test_histogram_percentile_interpolates_within_buckets():
+    h = Histogram("m3d_p_seconds", "", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0):
+        h.observe(v)
+    # p50 target rank = 2: one sample below the (1, 2] bucket, so the
+    # estimate lands halfway through it
+    assert h.percentile(50.0) == pytest.approx(1.5)
+    assert 2.0 <= h.percentile(75.0) <= 4.0
+    # everything past the last finite bucket clamps to its bound
+    h.observe(100.0)
+    assert h.percentile(100.0) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        h.percentile(-1.0)
+
+
+def test_duplicate_or_unsorted_buckets_rejected():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("m3d_dup", "", buckets=(0.1, 0.1, 1.0))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("m3d_rev", "", buckets=(1.0, 0.1))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("m3d_none", "", buckets=())
+
+
+def test_exposition_passes_check_prom_including_empty_histograms():
+    m = MetricsRegistry()
+    m.counter("m3d_reqs_total", "requests").inc(2)
+    m.histogram("m3d_empty_seconds", "no samples yet", buckets=(0.1, 1.0))
+    one = m.histogram("m3d_one_seconds", "one sample", buckets=(0.1, 1.0))
+    one.observe(0.25)
+    m.state_gauge("m3d_state", "breaker", states=("closed", "open"))
+    assert check_exposition(m.render_prometheus()) == []
+
+
+def test_check_prom_catches_broken_expositions():
+    assert any(
+        "no preceding # TYPE" in p
+        for p in check_exposition("m3d_orphan_total 1\n")
+    )
+    broken_hist = (
+        "# TYPE m3d_h histogram\n"
+        'm3d_h_bucket{le="0.1"} 2\n'
+        'm3d_h_bucket{le="+Inf"} 1\n'
+        "m3d_h_sum 1\n"
+        "m3d_h_count 3\n"
+    )
+    problems = check_exposition(broken_hist)
+    assert any("not cumulative" in p for p in problems)
+    assert any("+Inf bucket" in p for p in problems)
+    assert any(
+        "missing the +Inf bucket" in p
+        for p in check_exposition('# TYPE m3d_g histogram\nm3d_g_bucket{le="1"} 0\n'
+                                  "m3d_g_sum 0\nm3d_g_count 0\n")
+    )

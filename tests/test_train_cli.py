@@ -55,3 +55,53 @@ def test_cli_modules_are_lint_clean():
     """The shipped CLIs must satisfy the repo's own code rules (M3D2xx)."""
     cli_dir = Path(train_cli.__file__).parent
     assert m3dlint_main(["code", str(cli_dir)]) == EXIT_CLEAN
+
+
+def test_metrics_log_captures_epochs_final_and_eval(tmp_path, capsys):
+    from m3d_fault_loc.obs.telemetry import read_jsonl, summarize_training
+
+    model_path = tmp_path / "model.npz"
+    metrics_path = tmp_path / "train.jsonl"
+    rc = train_cli.main(
+        [
+            "--seed", "0",
+            "--n-graphs", "20",
+            "--n-gates", "12",
+            "--epochs", "3",
+            "--hidden", "8",
+            "--out", str(model_path),
+            "--metrics-log", str(metrics_path),
+        ]
+    )
+    assert rc == 0
+    records = read_jsonl(metrics_path)
+    epochs = [r for r in records if r["event"] == "epoch"]
+    assert [e["epoch"] for e in epochs] == [0, 1, 2]
+    for e in epochs:
+        assert e["loss"] > 0 and e["wall_s"] > 0 and e["grad_norm"] > 0
+        assert e["lr"] == 0.01
+    (final,) = [r for r in records if r["event"] == "final"]
+    assert 0.0 <= final["test_accuracy"] <= 1.0
+    assert final["train_graphs"] + final["test_graphs"] == 20
+
+    # m3d-evaluate appends its hit@k record to the same stream
+    rc = evaluate_cli.main(
+        [
+            "--model", str(model_path),
+            "--n-graphs", "8",
+            "--n-gates", "12",
+            "--top-k", "3",
+            "--metrics-log", str(metrics_path),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    records = read_jsonl(metrics_path)
+    (ev,) = [r for r in records if r["event"] == "eval"]
+    assert ev["n_graphs"] == 8 and ev["k"] == 3
+    assert 0.0 <= ev["top1"] <= ev["top_k_accuracy"] <= 1.0
+
+    summary = summarize_training(records)
+    assert summary["epochs"] == 3
+    assert summary["final"]["test_accuracy"] == final["test_accuracy"]
+    assert summary["evals"][0]["k"] == 3
