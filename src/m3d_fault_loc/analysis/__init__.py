@@ -7,19 +7,35 @@ Two sides:
   reach training or inference.
 - **Code lint** (:mod:`m3d_fault_loc.analysis.code_rules`): an AST pass over
   the Python stack itself, targeting GNN-training footguns.
+- **Concurrency lint** (:mod:`m3d_fault_loc.analysis.concurrency_rules`):
+  the M3D3xx lock-discipline rules over the same AST machinery, the static
+  half of the race tooling (the dynamic half is
+  :mod:`m3d_fault_loc.testing.racecheck`).
 
-Both report :class:`~m3d_fault_loc.analysis.violations.Violation` findings and
+All report :class:`~m3d_fault_loc.analysis.violations.Violation` findings and
 are exposed through the ``m3dlint`` CLI (:mod:`m3d_fault_loc.analysis.cli`).
+Findings can be acknowledged in place with ``# m3dlint: disable=...``
+pragmas (:mod:`m3d_fault_loc.analysis.suppress`).
 """
 
-from m3d_fault_loc.analysis.engine import GraphRule, RuleConfig, RuleEngine, default_engine
+from m3d_fault_loc.analysis.engine import (
+    GraphRule,
+    RuleConfig,
+    RuleEngine,
+    RuleRegistry,
+    default_engine,
+)
+from m3d_fault_loc.analysis.suppress import apply_suppressions, parse_pragmas
 from m3d_fault_loc.analysis.violations import Severity, Violation
 
 __all__ = [
     "GraphRule",
     "RuleConfig",
     "RuleEngine",
+    "RuleRegistry",
     "Severity",
     "Violation",
+    "apply_suppressions",
     "default_engine",
+    "parse_pragmas",
 ]

@@ -5,11 +5,19 @@ Subcommands:
 - ``m3dlint check PATH [PATH...]`` — run the netlist contract checker over
   serialized circuit graphs (``*.json`` files or directories of them).
 - ``m3dlint code PATH [PATH...]`` — run the AST lint pass over Python files
-  or source trees.
+  or source trees (M3D2xx GNN-stack footguns).
+- ``m3dlint concurrency PATH [PATH...]`` — run the lock-discipline lint
+  pass (M3D301–M3D306) over Python files or source trees.
 - ``m3dlint rules`` — print the rule catalog.
 
-Exit codes: 0 clean (warnings allowed), 1 at least one ERROR finding,
-2 usage or input error.
+Output formats (``--format``): ``text`` (default), ``json``, and
+``github`` — GitHub Actions workflow-command annotations
+(``::error file=...,line=...,title=M3D205::message``) so CI findings render
+inline on the PR diff.
+
+Exit codes: 0 clean, 1 findings at or above the ``--fail-on`` threshold
+(default ``error``; ``warning`` fails on any finding, ``never`` always
+exits 0), 2 usage or input error.
 """
 
 from __future__ import annotations
@@ -19,14 +27,26 @@ import json
 import sys
 from pathlib import Path
 
-from m3d_fault_loc.analysis.code_rules import BUILTIN_CODE_RULES, lint_paths
-from m3d_fault_loc.analysis.engine import RuleConfig, default_engine
-from m3d_fault_loc.analysis.violations import Severity, Violation, has_errors
+from m3d_fault_loc.analysis.code_rules import BUILTIN_CODE_RULES, CodeRule, lint_paths
+from m3d_fault_loc.analysis.concurrency_rules import BUILTIN_CONCURRENCY_RULES
+from m3d_fault_loc.analysis.engine import RuleConfig, RuleRegistry, default_engine
+from m3d_fault_loc.analysis.violations import Severity, Violation
 from m3d_fault_loc.graph.schema import CircuitGraph
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
+
+FORMATS = ("text", "json", "github")
+FAIL_ON = ("error", "warning", "never")
+
+
+def code_rule_catalog() -> RuleRegistry[CodeRule]:
+    """The full AST rule catalog (M3D2xx + M3D3xx), duplicate-checked."""
+    registry: RuleRegistry[CodeRule] = RuleRegistry()
+    for cls in BUILTIN_CODE_RULES + BUILTIN_CONCURRENCY_RULES:
+        registry.register(cls())
+    return registry
 
 
 def _collect_graph_files(paths: list[Path]) -> list[Path]:
@@ -41,7 +61,42 @@ def _collect_graph_files(paths: list[Path]) -> list[Path]:
     return files
 
 
-def _report(violations: list[Violation], fmt: str, n_targets: int, stream=None) -> int:
+def _github_annotation(v: Violation) -> str:
+    """One GitHub Actions workflow command for a finding.
+
+    Locations are ``path``, ``path:line``, or ``path: detail`` — only a
+    trailing integer becomes a ``line=`` property.
+    """
+    level = "error" if v.severity >= Severity.ERROR else "warning"
+    path, line = v.location, None
+    if ":" in v.location:
+        head, _, tail = v.location.rpartition(":")
+        if tail.strip().isdigit():
+            path, line = head, int(tail)
+    props = f"file={path}" if path else ""
+    if line is not None:
+        props += f",line={line}"
+    # Workflow-command syntax: %, CR, LF in the message must be escaped.
+    message = v.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    return f"::{level} {f'{props},' if props else ''}title={v.rule_id}::{message}"
+
+
+def _exit_code(violations: list[Violation], fail_on: str) -> int:
+    if fail_on == "never":
+        return EXIT_CLEAN
+    if fail_on == "warning":
+        return EXIT_FINDINGS if violations else EXIT_CLEAN
+    errors = any(v.severity >= Severity.ERROR for v in violations)
+    return EXIT_FINDINGS if errors else EXIT_CLEAN
+
+
+def _report(
+    violations: list[Violation],
+    fmt: str,
+    n_targets: int,
+    fail_on: str = "error",
+    stream=None,
+) -> int:
     stream = stream if stream is not None else sys.stdout
     errors = sum(1 for v in violations if v.severity >= Severity.ERROR)
     warnings = len(violations) - errors
@@ -52,6 +107,13 @@ def _report(violations: list[Violation], fmt: str, n_targets: int, stream=None) 
             "violations": [v.to_json_dict() for v in violations],
         }
         print(json.dumps(payload, indent=2), file=stream)
+    elif fmt == "github":
+        for v in violations:
+            print(_github_annotation(v), file=stream)
+        print(
+            f"m3dlint: {n_targets} target(s) checked, {errors} error(s), {warnings} warning(s)",
+            file=stream,
+        )
     else:
         for v in violations:
             print(v.render(), file=stream)
@@ -59,7 +121,7 @@ def _report(violations: list[Violation], fmt: str, n_targets: int, stream=None) 
             f"m3dlint: {n_targets} target(s) checked, {errors} error(s), {warnings} warning(s)",
             file=stream,
         )
-    return EXIT_FINDINGS if errors else EXIT_CLEAN
+    return _exit_code(violations, fail_on)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -96,24 +158,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     context=v.context,
                 )
             )
-    return _report(violations, args.format, len(files))
+    return _report(violations, args.format, len(files), args.fail_on)
 
 
-def _cmd_code(args: argparse.Namespace) -> int:
+def _lint_tree(args: argparse.Namespace, rules: list[CodeRule]) -> int:
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(f"m3dlint: no such file or directory: {missing[0]}", file=sys.stderr)
         return EXIT_USAGE
-    violations = lint_paths(paths)
+    violations = lint_paths(paths, rules=rules)
     n_files = sum(len(list(p.rglob("*.py"))) if p.is_dir() else 1 for p in paths)
-    return _report(violations, args.format, n_files)
+    return _report(violations, args.format, n_files, args.fail_on)
+
+
+def _cmd_code(args: argparse.Namespace) -> int:
+    return _lint_tree(args, [cls() for cls in BUILTIN_CODE_RULES])
+
+
+def _cmd_concurrency(args: argparse.Namespace) -> int:
+    return _lint_tree(args, [cls() for cls in BUILTIN_CONCURRENCY_RULES])
 
 
 def _cmd_rules(args: argparse.Namespace) -> int:
     engine = default_engine()
     rows = [(r.id, str(r.severity), r.description) for r in engine.rules]
-    rows += [(cls.id, str(cls.severity), cls.description) for cls in BUILTIN_CODE_RULES]
+    rows += [(r.id, str(r.severity), r.description) for r in code_rule_catalog().rules]
     if args.format == "json":
         print(
             json.dumps(
@@ -126,6 +196,16 @@ def _cmd_rules(args: argparse.Namespace) -> int:
     return EXIT_CLEAN
 
 
+def _add_common_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--format", choices=FORMATS, default="text")
+    sub.add_argument(
+        "--fail-on",
+        choices=FAIL_ON,
+        default="error",
+        help="exit 1 on findings at/above this severity (default: error)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="m3dlint",
@@ -135,14 +215,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="validate serialized circuit graphs")
     check.add_argument("paths", nargs="+", help="graph JSON files or directories")
-    check.add_argument("--format", choices=("text", "json"), default="text")
     check.add_argument("--max-fanout", type=int, default=RuleConfig().max_fanout)
+    _add_common_flags(check)
     check.set_defaults(func=_cmd_check)
 
     code = sub.add_parser("code", help="lint Python sources for GNN-stack footguns")
     code.add_argument("paths", nargs="+", help="Python files or directories")
-    code.add_argument("--format", choices=("text", "json"), default="text")
+    _add_common_flags(code)
     code.set_defaults(func=_cmd_code)
+
+    concurrency = sub.add_parser(
+        "concurrency", help="lint Python sources for lock-discipline footguns"
+    )
+    concurrency.add_argument("paths", nargs="+", help="Python files or directories")
+    _add_common_flags(concurrency)
+    concurrency.set_defaults(func=_cmd_concurrency)
 
     rules = sub.add_parser("rules", help="print the rule catalog")
     rules.add_argument("--format", choices=("text", "json"), default="text")

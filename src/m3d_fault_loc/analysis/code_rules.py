@@ -27,6 +27,7 @@ import ast
 from abc import ABC, abstractmethod
 from pathlib import Path
 
+from m3d_fault_loc.analysis.suppress import apply_suppressions
 from m3d_fault_loc.analysis.violations import Severity, Violation
 
 #: Module basenames allowed to call global seeding primitives directly.
@@ -454,7 +455,9 @@ def lint_source(source: str, path: Path, rules: list[CodeRule] | None = None) ->
     findings: list[Violation] = []
     for rule in active:
         findings.extend(rule.check(tree, path))
-    return findings
+    return apply_suppressions(
+        findings, source, path, active_rule_ids={rule.id for rule in active}
+    )
 
 
 def lint_paths(paths: list[Path], rules: list[CodeRule] | None = None) -> list[Violation]:

@@ -10,9 +10,53 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Generic, TypeVar
 
 from m3d_fault_loc.analysis.violations import Severity, Violation
 from m3d_fault_loc.graph.schema import CircuitGraph
+
+RuleT = TypeVar("RuleT")
+
+
+class RuleRegistry(Generic[RuleT]):
+    """Duplicate-rejecting ``id -> rule`` registry shared by every rule family.
+
+    Both the graph contract engine and the code/concurrency lint catalogs
+    register through this class, so two rules claiming the same ID is a
+    loud ``ValueError`` at registration time — never a silent shadow where
+    the later registration wins and the earlier rule stops running.
+    """
+
+    def __init__(self, rules: list[RuleT] | None = None):
+        self._rules: dict[str, RuleT] = {}
+        for rule in rules or []:
+            self.register(rule)
+
+    def register(self, rule: RuleT) -> None:
+        rule_id = getattr(rule, "id", None)
+        if not isinstance(rule_id, str) or not rule_id:
+            raise ValueError(f"rule {rule!r} has no string 'id' attribute")
+        existing = self._rules.get(rule_id)
+        if existing is not None:
+            raise ValueError(
+                f"duplicate rule id: {rule_id} "
+                f"({type(existing).__name__} is already registered under it; "
+                f"refusing to shadow it with {type(rule).__name__})"
+            )
+        self._rules[rule_id] = rule
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def ids(self) -> list[str]:
+        return sorted(self._rules)
+
+    @property
+    def rules(self) -> list[RuleT]:
+        return [self._rules[rid] for rid in sorted(self._rules)]
 
 
 @dataclass(frozen=True)
@@ -49,18 +93,16 @@ class RuleEngine:
 
     def __init__(self, rules: list[GraphRule] | None = None, config: RuleConfig | None = None):
         self.config = config or RuleConfig()
-        self._rules: dict[str, GraphRule] = {}
+        self._registry: RuleRegistry[GraphRule] = RuleRegistry()
         for rule in rules or []:
             self.register(rule)
 
     def register(self, rule: GraphRule) -> None:
-        if rule.id in self._rules:
-            raise ValueError(f"duplicate rule id: {rule.id}")
-        self._rules[rule.id] = rule
+        self._registry.register(rule)
 
     @property
     def rules(self) -> list[GraphRule]:
-        return [self._rules[rid] for rid in sorted(self._rules)]
+        return self._registry.rules
 
     def run(self, graph: CircuitGraph) -> list[Violation]:
         """Run every registered rule; structural ERROR findings from earlier

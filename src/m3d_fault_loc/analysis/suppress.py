@@ -1,0 +1,136 @@
+"""Inline suppression pragmas for the AST lint families.
+
+A finding can be acknowledged in place with::
+
+    self._handle.flush()  # m3dlint: disable=M3D30x reason=leaf lock, no nesting
+
+The pragma applies to the line it sits on — or, when the comment stands
+alone on its own line, to the line below it (for statements too long to
+carry an inline comment). It names one or more rule IDs (comma-separated)
+and **must** carry a ``reason=`` — an unexplained suppression is worse
+than the finding it hides. The engine keeps pragmas
+honest two ways, both reported under the meta-rule ``M3D300``:
+
+- a pragma without a ``reason=`` suppresses nothing and is itself flagged;
+- a pragma naming a rule that is *active in this run* but suppressed no
+  finding is stale (the underlying code was fixed) and is flagged so dead
+  pragmas cannot accumulate. Rules not active in the current run (e.g. an
+  ``M3D3xx`` pragma while ``m3dlint code`` runs only the ``M3D2xx`` family)
+  are ignored rather than reported, since the two subcommands share files.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from m3d_fault_loc.analysis.violations import Severity, Violation
+
+#: Meta-rule ID for malformed or stale suppression pragmas.
+PRAGMA_RULE_ID = "M3D300"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*m3dlint:\s*disable=(?P<ids>[A-Za-z0-9_,\s]*?)(?:\s+reason=(?P<reason>.*))?$"
+)
+
+
+@dataclass
+class Pragma:
+    """One suppression comment.
+
+    ``line`` is where the comment sits; ``target_line`` is the line whose
+    findings it covers (the next line for a standalone comment, the same
+    line for an inline one).
+    """
+
+    line: int
+    target_line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every ``# m3dlint: disable=...`` pragma with its line number."""
+    pragmas: list[Pragma] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        ids = tuple(part.strip() for part in match.group("ids").split(",") if part.strip())
+        reason = (match.group("reason") or "").strip()
+        standalone = not text[: match.start()].strip()
+        pragmas.append(
+            Pragma(
+                line=lineno,
+                target_line=lineno + 1 if standalone else lineno,
+                rule_ids=ids,
+                reason=reason,
+            )
+        )
+    return pragmas
+
+
+def _finding_line(violation: Violation, path: Path) -> int | None:
+    """Line number of a ``path:line`` location, or ``None`` if unparsable."""
+    prefix = f"{path}:"
+    if not violation.location.startswith(prefix):
+        return None
+    try:
+        return int(violation.location[len(prefix) :].split(":", 1)[0])
+    except ValueError:
+        return None
+
+
+def apply_suppressions(
+    findings: list[Violation],
+    source: str,
+    path: Path,
+    active_rule_ids: set[str],
+) -> list[Violation]:
+    """Filter findings covered by valid same-line pragmas; police the pragmas.
+
+    Returns the surviving findings plus one ``M3D300`` finding per pragma
+    that is malformed (no rule IDs, or missing ``reason=``) or stale (names
+    an active rule yet suppressed nothing this run).
+    """
+    pragmas = parse_pragmas(source)
+    if not pragmas:
+        return findings
+    by_line = {p.target_line: p for p in pragmas}
+
+    kept: list[Violation] = []
+    for violation in findings:
+        line = _finding_line(violation, path)
+        pragma = by_line.get(line) if line is not None else None
+        if (
+            pragma is not None
+            and pragma.reason
+            and violation.rule_id in pragma.rule_ids
+        ):
+            pragma.used = True
+            continue
+        kept.append(violation)
+
+    for pragma in pragmas:
+        problem: str | None = None
+        if not pragma.rule_ids:
+            problem = "names no rule IDs"
+        elif not pragma.reason:
+            problem = "has no reason= (unexplained suppressions are not honored)"
+        elif not pragma.used and any(rid in active_rule_ids for rid in pragma.rule_ids):
+            problem = (
+                f"suppressed nothing (rules {', '.join(pragma.rule_ids)} raised no "
+                "finding on this line); remove the stale pragma"
+            )
+        if problem is not None:
+            kept.append(
+                Violation(
+                    rule_id=PRAGMA_RULE_ID,
+                    severity=Severity.WARNING,
+                    message=f"suppression pragma {problem}",
+                    location=f"{path}:{pragma.line}",
+                )
+            )
+    return kept

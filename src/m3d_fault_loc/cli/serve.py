@@ -102,6 +102,7 @@ def install_signal_handlers(
     server: LocalizationHTTPServer, service: LocalizationService, drain_deadline_s: float
 ) -> None:
     """Route SIGTERM/SIGINT into one graceful drain (idempotent)."""
+    # m3dlint: disable=M3D303 reason=one-shot process-lifetime latch, installed once
     triggered = threading.Event()
 
     def handle(signum: int, frame: FrameType | None) -> None:

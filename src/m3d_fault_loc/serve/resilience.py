@@ -176,34 +176,53 @@ class CircuitBreaker:
         """Install/replace the transition callback (e.g. a metrics hook)."""
         self._on_transition = listener
 
-    def _transition(self, new_state: str) -> None:
+    def _transition(self, new_state: str, events: list[tuple[str, str]]) -> None:
+        """Apply a state change under ``_lock``; the callback is deferred.
+
+        Transitions are recorded into ``events`` and fired by
+        :meth:`_notify` only after the lock is released — listener code must
+        never run under the breaker's own lock (re-entrancy deadlock).
+        """
         old, self._state = self._state, new_state
-        if old != new_state and self._on_transition is not None:
-            self._on_transition(old, new_state)
+        if old != new_state:
+            events.append((old, new_state))
+
+    def _notify(self, events: list[tuple[str, str]]) -> None:
+        listener = self._on_transition
+        if listener is not None:
+            for old, new in events:
+                listener(old, new)
 
     @property
     def state(self) -> str:
+        events: list[tuple[str, str]] = []
         with self._lock:
-            self._maybe_half_open()
-            return self._state
+            self._maybe_half_open(events)
+            state = self._state
+        self._notify(events)
+        return state
 
-    def _maybe_half_open(self) -> None:
+    def _maybe_half_open(self, events: list[tuple[str, str]]) -> None:
         if self._state == self.OPEN and (
             time.monotonic() - self._opened_at >= self.reset_timeout_s
         ):
-            self._probes_in_flight = 0
-            self._transition(self.HALF_OPEN)
+            self._probes_in_flight = 0  # m3dlint: disable=M3D301 reason=callers hold _lock
+            self._transition(self.HALF_OPEN, events)
 
     def allow(self) -> bool:
         """Admission check: may one more request enter the pipeline now?"""
+        events: list[tuple[str, str]] = []
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open(events)
             if self._state == self.CLOSED:
-                return True
-            if self._state == self.HALF_OPEN and self._probes_in_flight < self.half_open_probes:
+                admitted = True
+            elif self._state == self.HALF_OPEN and self._probes_in_flight < self.half_open_probes:
                 self._probes_in_flight += 1
-                return True
-            return False
+                admitted = True
+            else:
+                admitted = False
+        self._notify(events)
+        return admitted
 
     def retry_after_s(self) -> float:
         """How long a refused caller should wait before retrying."""
@@ -212,14 +231,17 @@ class CircuitBreaker:
             return max(0.1, self.reset_timeout_s - waited)
 
     def record_success(self) -> None:
+        events: list[tuple[str, str]] = []
         with self._lock:
             self._consecutive_failures = 0
             if self._state != self.CLOSED:
-                self._transition(self.CLOSED)
+                self._transition(self.CLOSED, events)
+        self._notify(events)
 
     def record_failure(self) -> None:
+        events: list[tuple[str, str]] = []
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open(events)
             self._consecutive_failures += 1
             if self._state == self.HALF_OPEN or (
                 self._state == self.CLOSED
@@ -227,16 +249,20 @@ class CircuitBreaker:
             ):
                 self._opened_at = time.monotonic()
                 self._trips += 1
-                self._transition(self.OPEN)
+                self._transition(self.OPEN, events)
+        self._notify(events)
 
     def snapshot(self) -> dict[str, Any]:
+        events: list[tuple[str, str]] = []
         with self._lock:
-            self._maybe_half_open()
-            return {
+            self._maybe_half_open(events)
+            snap = {
                 "state": self._state,
                 "consecutive_failures": self._consecutive_failures,
                 "trips": self._trips,
             }
+        self._notify(events)
+        return snap
 
 
 # -- health state machine --------------------------------------------------
@@ -272,10 +298,22 @@ class HealthMonitor:
         self._worker_restarts = 0
         self._last_failure: str | None = None
 
-    def _transition(self, new_status: str) -> None:
+    def _transition(self, new_status: str, events: list[tuple[str, str]]) -> None:
+        """Apply a status change under ``_lock``; the callback is deferred.
+
+        As in :class:`CircuitBreaker`, transitions accumulate in ``events``
+        and :meth:`_notify` fires the listener only after the lock is
+        released, so listener code never runs under the monitor's lock.
+        """
         old, self._status = self._status, new_status
-        if old != new_status and self._on_transition is not None:
-            self._on_transition(old, new_status)
+        if old != new_status:
+            events.append((old, new_status))
+
+    def _notify(self, events: list[tuple[str, str]]) -> None:
+        listener = self._on_transition
+        if listener is not None:
+            for old, new in events:
+                listener(old, new)
 
     @property
     def status(self) -> str:
@@ -283,20 +321,24 @@ class HealthMonitor:
             return self._status
 
     def record_worker_failure(self, reason: str) -> None:
+        events: list[tuple[str, str]] = []
         with self._lock:
             self._consecutive_failures += 1
             self._worker_restarts += 1
             self._last_failure = reason
             if self._consecutive_failures >= self.unhealthy_after:
-                self._transition(self.UNHEALTHY)
+                self._transition(self.UNHEALTHY, events)
             else:
-                self._transition(self.DEGRADED)
+                self._transition(self.DEGRADED, events)
+        self._notify(events)
 
     def record_success(self) -> None:
+        events: list[tuple[str, str]] = []
         with self._lock:
             self._consecutive_failures = 0
             if self._status != self.OK:
-                self._transition(self.OK)
+                self._transition(self.OK, events)
+        self._notify(events)
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:

@@ -404,7 +404,8 @@ class LocalizationService:
 
     def begin_drain(self) -> None:
         """Stop admitting requests; already-queued work keeps flowing."""
-        self._draining = True
+        with self._start_lock:
+            self._draining = True
 
     def await_drain(self, deadline_s: float | None = None) -> dict[str, int]:
         """Wait for the pipeline to empty, then fail leftovers deterministically.

@@ -1,8 +1,9 @@
-"""Test-support subsystem: deterministic fault injection for chaos tests.
+"""Test-support subsystem: fault injection and runtime race detection.
 
 Shipped inside the package (not under ``tests/``) on purpose: fault
-injection is a first-class capability of the serving stack, and downstream
-deployments can reuse the same shims to rehearse their own failure drills.
+injection and lock-order sanitizing are first-class capabilities of the
+serving stack, and downstream deployments can reuse the same shims to
+rehearse their own failure drills.
 """
 
 from m3d_fault_loc.testing.chaos import (
@@ -12,11 +13,19 @@ from m3d_fault_loc.testing.chaos import (
     WorkerKilled,
     corrupt_artifact,
 )
+from m3d_fault_loc.testing.racecheck import (
+    LockOrderSanitizer,
+    RaceReport,
+    instrumented,
+)
 
 __all__ = [
     "CrashOnNthBatchModel",
     "FlakyIO",
+    "LockOrderSanitizer",
+    "RaceReport",
     "SlowBatchModel",
     "WorkerKilled",
     "corrupt_artifact",
+    "instrumented",
 ]

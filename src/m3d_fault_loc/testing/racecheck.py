@@ -1,0 +1,413 @@
+"""Runtime lock-order sanitizer: lockdep for the serving stack.
+
+The static M3D3xx rules (:mod:`m3d_fault_loc.analysis.concurrency_rules`)
+catch lexical lock-discipline mistakes; this module catches the dynamic
+ones. While installed, it replaces ``threading.Lock``/``threading.RLock``
+with tracked wrappers (so ``queue.Queue``, ``threading.Event``, and
+``threading.Condition`` built afterwards are instrumented for free) and
+records:
+
+- **lock-order inversions** — thread 1 acquires A then B, thread 2 (or the
+  same thread, later) acquires B then A. A cycle in the global lock-order
+  graph is a potential deadlock even if the unlucky interleaving never
+  happened in this run, which is what makes the check deterministic enough
+  for CI.
+- **long holds** — a lock held longer than ``long_hold_ms`` (a latency
+  cliff for every thread queued behind it).
+- **foreign releases** — a lock released by a thread that does not own it
+  (always a bug; with plain ``Lock`` it silently corrupts mutual
+  exclusion).
+
+Locks are grouped into *classes* by creation site (``file:line``), the same
+abstraction the kernel's lockdep uses: two ``LRUResultCache`` instances
+allocate distinct lock objects but share one ordering discipline, and an
+inversion between *classes* is reported even when the two runs touched
+different instances. Acquisitions of two locks of the *same* class are not
+edges (sibling instances and RLock re-entry are legitimate).
+
+Usage::
+
+    with racecheck.instrumented(long_hold_ms=250.0) as sanitizer:
+        ...  # build services, run threads
+    report = sanitizer.report()
+    assert not report.inversions
+
+or via the autouse pytest fixture in ``tests/conftest.py``, which fails any
+chaos/concurrency test that produced an inversion or foreign release.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+# Real primitives, captured before anything can patch them. The sanitizer's
+# own bookkeeping must never run through its own instrumentation.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+#: Stdlib plumbing (matched by exact basename) skipped when attributing a
+#: lock to its creation site, plus this module itself (matched by full path
+#: so that e.g. ``tests/test_racecheck.py`` is *not* skipped).
+_SKIP_BASENAMES = frozenset({"threading.py", "queue.py", "contextlib.py"})
+_OWN_FILE = __file__.replace("\\", "/")
+
+
+def _creation_site() -> str:
+    """``file:line`` of the frame that created a lock, skipping plumbing."""
+    for frame in reversed(traceback.extract_stack()):
+        filename = frame.filename.replace("\\", "/")
+        if filename == _OWN_FILE or filename.rsplit("/", 1)[-1] in _SKIP_BASENAMES:
+            continue
+        parts = filename.rsplit("/", 3)
+        short = "/".join(parts[-2:])
+        return f"{short}:{frame.lineno}"
+    return "<unknown>:0"
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """Lock classes acquired in both orders — a potential deadlock."""
+
+    first: str
+    second: str
+    forward_stack: str
+    backward_stack: str
+
+    def describe(self) -> str:
+        return (
+            f"lock-order inversion: '{self.first}' -> '{self.second}' here:\n"
+            f"{self.backward_stack}\nbut the opposite order was seen here:\n"
+            f"{self.forward_stack}"
+        )
+
+
+@dataclass(frozen=True)
+class LongHold:
+    """A lock held past the configured threshold."""
+
+    site: str
+    held_ms: float
+    thread: str
+    stack: str
+
+    def describe(self) -> str:
+        return f"lock '{self.site}' held {self.held_ms:.1f} ms by {self.thread}"
+
+
+@dataclass(frozen=True)
+class ForeignRelease:
+    """A lock released by a thread that does not own it."""
+
+    site: str
+    owner: str
+    releaser: str
+
+    def describe(self) -> str:
+        return (
+            f"lock '{self.site}' acquired by {self.owner} "
+            f"but released by {self.releaser}"
+        )
+
+
+@dataclass
+class RaceReport:
+    """Everything one instrumented run observed."""
+
+    inversions: list[Inversion] = field(default_factory=list)
+    long_holds: list[LongHold] = field(default_factory=list)
+    foreign_releases: list[ForeignRelease] = field(default_factory=list)
+    locks_created: int = 0
+    acquisitions: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"racecheck: {self.locks_created} lock(s), "
+            f"{self.acquisitions} acquisition(s), "
+            f"{len(self.inversions)} inversion(s), "
+            f"{len(self.long_holds)} long hold(s), "
+            f"{len(self.foreign_releases)} foreign release(s)"
+        )
+
+
+@dataclass
+class _Acquisition:
+    """One held lock on a thread's stack."""
+
+    site: str
+    lock_id: int
+    since: float
+    stack: str
+
+
+class LockOrderSanitizer:
+    """Tracks every instrumented acquire/release and builds the order graph."""
+
+    def __init__(self, long_hold_ms: float = 250.0):
+        self.long_hold_ms = long_hold_ms
+        self._meta = _REAL_LOCK()
+        # (held_site, acquired_site) -> stack captured when first seen.
+        self._edges: dict[tuple[str, str], str] = {}
+        self._held: dict[int, list[_Acquisition]] = {}  # thread id -> stack
+        self._report = RaceReport()
+
+    # -- wrapper factory hooks ------------------------------------------
+
+    def make_lock(self) -> "_TrackedLock":
+        with self._meta:
+            self._report.locks_created += 1
+        return _TrackedLock(self, _creation_site())
+
+    def make_rlock(self) -> "_TrackedRLock":
+        with self._meta:
+            self._report.locks_created += 1
+        return _TrackedRLock(self, _creation_site())
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def note_acquired(self, site: str, lock_id: int) -> None:
+        thread_id = threading.get_ident()
+        stack = "".join(
+            entry
+            for entry in traceback.format_stack(limit=10)
+            if "racecheck.py" not in entry
+        )
+        acq = _Acquisition(site=site, lock_id=lock_id, since=time.monotonic(), stack=stack)
+        with self._meta:
+            self._report.acquisitions += 1
+            held = self._held.setdefault(thread_id, [])
+            if held:
+                self._note_edge(held[-1].site, site, stack)
+            held.append(acq)
+
+    def note_released(self, site: str, lock_id: int, owner_ident: int | None) -> None:
+        thread_id = threading.get_ident()
+        now = time.monotonic()
+        with self._meta:
+            held = self._held.get(thread_id, [])
+            idx = self._find(held, lock_id)
+            if idx is None and owner_ident is not None and owner_ident != thread_id:
+                owner_held = self._held.get(owner_ident, [])
+                owner_idx = self._find(owner_held, lock_id)
+                if owner_idx is not None:
+                    self._report.foreign_releases.append(
+                        ForeignRelease(
+                            site=site,
+                            owner=f"thread-{owner_ident}",
+                            releaser=f"thread-{thread_id}",
+                        )
+                    )
+                    owner_held.pop(owner_idx)
+                return
+            if idx is None:
+                return
+            acq = held.pop(idx)
+            held_ms = (now - acq.since) * 1000.0
+            if held_ms > self.long_hold_ms:
+                self._report.long_holds.append(
+                    LongHold(
+                        site=site,
+                        held_ms=held_ms,
+                        thread=threading.current_thread().name,
+                        stack=acq.stack,
+                    )
+                )
+
+    @staticmethod
+    def _find(held: list[_Acquisition], lock_id: int) -> int | None:
+        for i in range(len(held) - 1, -1, -1):
+            if held[i].lock_id == lock_id:
+                return i
+        return None
+
+    def _note_edge(self, held_site: str, acquired_site: str, stack: str) -> None:
+        """Record held -> acquired; a path the other way is an inversion.
+
+        Caller holds ``_meta``. Same-class pairs are skipped: sibling
+        instances of one class share a creation site and a discipline.
+        """
+        if held_site == acquired_site:
+            return
+        edge = (held_site, acquired_site)
+        if edge in self._edges:
+            return
+        if self._path_exists(acquired_site, held_site):
+            back = self._edges.get((acquired_site, held_site))
+            self._report.inversions.append(
+                Inversion(
+                    first=acquired_site,
+                    second=held_site,
+                    forward_stack=back if back is not None else "<transitive>",
+                    backward_stack=stack,
+                )
+            )
+        self._edges[edge] = stack
+
+    def _path_exists(self, start: str, goal: str) -> bool:
+        """DFS over the order graph: is there a path start ⇝ goal?"""
+        stack, seen = [start], {start}
+        adjacency: dict[str, list[str]] = {}
+        for a, b in self._edges:
+            adjacency.setdefault(a, []).append(b)
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for nxt in adjacency.get(node, []):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def report(self) -> RaceReport:
+        with self._meta:
+            return RaceReport(
+                inversions=list(self._report.inversions),
+                long_holds=list(self._report.long_holds),
+                foreign_releases=list(self._report.foreign_releases),
+                locks_created=self._report.locks_created,
+                acquisitions=self._report.acquisitions,
+            )
+
+
+class _TrackedLock:
+    """Drop-in for ``threading.Lock()`` that reports to the sanitizer.
+
+    Deliberately does **not** expose ``_release_save``/``_acquire_restore``/
+    ``_is_owned``: ``threading.Condition`` then falls back to plain
+    ``acquire``/``release``, which stay tracked.
+    """
+
+    def __init__(self, sanitizer: LockOrderSanitizer, site: str):
+        self._sanitizer = sanitizer
+        self._site = site
+        self._inner = _REAL_LOCK()
+        self._owner: int | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._owner = threading.get_ident()
+            self._sanitizer.note_acquired(self._site, id(self))
+        return got
+
+    def release(self) -> None:
+        owner, self._owner = self._owner, None
+        self._inner.release()
+        self._sanitizer.note_released(self._site, id(self), owner)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<racecheck Lock {self._site} inner={self._inner!r}>"
+
+
+class _TrackedRLock:
+    """Drop-in for ``threading.RLock()``; only the 0↔1 transitions count.
+
+    Implements the private ``_release_save``/``_acquire_restore``/
+    ``_is_owned`` trio so a ``threading.Condition`` (and thus ``Event``
+    and ``queue.Queue``) built over an instrumented RLock keeps working —
+    and its full-depth release inside ``wait()`` ends the hold window, so
+    a long ``Condition.wait`` is not misreported as a long hold.
+    """
+
+    def __init__(self, sanitizer: LockOrderSanitizer, site: str):
+        self._sanitizer = sanitizer
+        self._site = site
+        self._inner: Any = _REAL_RLOCK()
+        self._depth = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._depth += 1
+            if self._depth == 1:
+                self._sanitizer.note_acquired(self._site, id(self))
+        return got
+
+    def release(self) -> None:
+        if self._inner._is_owned():
+            self._depth -= 1
+            if self._depth == 0:
+                self._sanitizer.note_released(
+                    self._site, id(self), threading.get_ident()
+                )
+        self._inner.release()
+
+    def _is_owned(self) -> bool:
+        return bool(self._inner._is_owned())
+
+    def _release_save(self) -> tuple[Any, int]:
+        depth, self._depth = self._depth, 0
+        self._sanitizer.note_released(self._site, id(self), threading.get_ident())
+        return (self._inner._release_save(), depth)
+
+    def _acquire_restore(self, state: tuple[Any, int]) -> None:
+        inner_state, depth = state
+        self._inner._acquire_restore(inner_state)
+        self._depth = depth
+        self._sanitizer.note_acquired(self._site, id(self))
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<racecheck RLock {self._site} depth={self._depth}>"
+
+
+# -- install / uninstall ----------------------------------------------------
+
+_install_guard = _REAL_LOCK()
+_active: LockOrderSanitizer | None = None
+
+
+def install(sanitizer: LockOrderSanitizer) -> None:
+    """Patch ``threading.Lock``/``RLock`` to the sanitizer's factories.
+
+    Only locks created *after* installation are tracked; module-level locks
+    born at import time stay raw (and invisible), which is exactly what the
+    M3D303 rule is for.
+    """
+    global _active
+    with _install_guard:
+        if _active is not None:
+            raise RuntimeError("racecheck is already installed")
+        _active = sanitizer
+        setattr(threading, "Lock", sanitizer.make_lock)
+        setattr(threading, "RLock", sanitizer.make_rlock)
+
+
+def uninstall() -> None:
+    """Restore the real primitives (idempotent)."""
+    global _active
+    with _install_guard:
+        setattr(threading, "Lock", _REAL_LOCK)
+        setattr(threading, "RLock", _REAL_RLOCK)
+        _active = None
+
+
+@contextmanager
+def instrumented(long_hold_ms: float = 250.0) -> Iterator[LockOrderSanitizer]:
+    """Run a block with lock instrumentation installed."""
+    sanitizer = LockOrderSanitizer(long_hold_ms=long_hold_ms)
+    install(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        uninstall()

@@ -1,0 +1,342 @@
+"""Tests for the M3D3xx lock-discipline rules and suppression pragmas."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from m3d_fault_loc.analysis.code_rules import lint_paths, lint_source
+from m3d_fault_loc.analysis.concurrency_rules import BUILTIN_CONCURRENCY_RULES
+from m3d_fault_loc.analysis.suppress import parse_pragmas
+from m3d_fault_loc.analysis.violations import Severity
+
+LIB_PATH = Path("src/m3d_fault_loc/obs/thing.py")
+SERVE_PATH = Path("src/m3d_fault_loc/serve/thing.py")
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def lint(source: str, path: Path = LIB_PATH):
+    rules = [cls() for cls in BUILTIN_CONCURRENCY_RULES]
+    return lint_source(textwrap.dedent(source), path, rules=rules)
+
+
+def rule_ids(source: str, path: Path = LIB_PATH) -> list[str]:
+    return [v.rule_id for v in lint(source, path)]
+
+
+# -- M3D301: locked-anywhere means locked-everywhere -----------------------
+
+
+M3D301_SOURCE = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._value = 0
+
+        def bump(self):
+            with self._lock:
+                self._value += 1
+
+        def reset(self):
+            self._value = 0
+"""
+
+
+def test_m3d301_fires_on_mixed_discipline():
+    findings = lint(M3D301_SOURCE)
+    assert [v.rule_id for v in findings] == ["M3D301"]
+    assert "_value" in findings[0].message
+    assert "reset" in findings[0].message
+
+
+def test_m3d301_ignores_init_and_consistent_locking():
+    clean = """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._value = 0
+
+            def bump(self):
+                with self._lock:
+                    self._value += 1
+
+            def reset(self):
+                with self._lock:
+                    self._value = 0
+    """
+    assert rule_ids(clean) == []
+
+
+def test_m3d301_escalates_to_error_in_serve():
+    assert lint(M3D301_SOURCE, SERVE_PATH)[0].severity is Severity.ERROR
+    assert lint(M3D301_SOURCE, LIB_PATH)[0].severity is Severity.WARNING
+
+
+# -- M3D302: blocking calls under a lock -----------------------------------
+
+
+def test_m3d302_fires_on_sleep_queue_and_io_under_lock():
+    source = """
+        import threading, time
+
+        class Thing:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def bad(self, work_queue, handle):
+                with self._lock:
+                    time.sleep(0.1)
+                    work_queue.get()
+                    handle.write(b"x")
+    """
+    assert rule_ids(source) == ["M3D302", "M3D302", "M3D302"]
+
+
+def test_m3d302_ignores_blocking_calls_outside_locks_and_dict_get():
+    source = """
+        import threading, time
+
+        class Thing:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def fine(self, work_queue, table):
+                time.sleep(0.1)
+                work_queue.get()
+                with self._lock:
+                    value = table.get("key")
+                    name = ", ".join(["a"])
+                return value, name
+    """
+    assert rule_ids(source) == []
+
+
+def test_m3d302_closure_under_lock_is_not_flagged():
+    source = """
+        import threading, time
+
+        class Thing:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def fine(self):
+                with self._lock:
+                    def later():
+                        time.sleep(1.0)
+                    self._cb = later
+    """
+    # the closure body does not *run* under the lock; only the M3D301-style
+    # mixed write on _cb would be a separate concern (single write: clean).
+    assert "M3D302" not in rule_ids(source)
+
+
+# -- M3D303: per-call locks guard nothing ----------------------------------
+
+
+def test_m3d303_fires_outside_init_but_not_in_init_or_module_scope():
+    source = """
+        import threading
+
+        MODULE_LOCK = threading.Lock()
+
+        class Thing:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def racy(self):
+                guard = threading.Lock()
+                with guard:
+                    return 1
+    """
+    findings = lint(source)
+    assert [v.rule_id for v in findings] == ["M3D303"]
+    assert "racy" in findings[0].message
+
+
+# -- M3D304: unbounded join/wait in library code ---------------------------
+
+
+def test_m3d304_fires_on_unbounded_join_and_wait():
+    source = """
+        def shutdown(worker, stop_event):
+            stop_event.wait()
+            worker.join()
+    """
+    assert rule_ids(source) == ["M3D304", "M3D304"]
+
+
+def test_m3d304_allows_timeouts_and_entry_points():
+    bounded = """
+        def shutdown(worker, stop_event):
+            stop_event.wait(timeout=5.0)
+            worker.join(5.0)
+    """
+    assert rule_ids(bounded) == []
+    unbounded = """
+        def main(worker):
+            worker.join()
+    """
+    assert rule_ids(unbounded, Path("src/m3d_fault_loc/cli/serve.py")) == []
+
+
+def test_m3d304_ignores_string_join():
+    assert rule_ids("x = ', '.join(['a', 'b'])\n") == []
+
+
+# -- M3D305: explicit daemon flag ------------------------------------------
+
+
+def test_m3d305_fires_without_daemon_flag():
+    source = """
+        import threading
+
+        def spawn(fn):
+            t = threading.Thread(target=fn)
+            t.start()
+            return t
+    """
+    assert rule_ids(source) == ["M3D305"]
+
+
+def test_m3d305_satisfied_by_kwarg_or_attribute():
+    source = """
+        import threading
+
+        def spawn_kw(fn):
+            return threading.Thread(target=fn, daemon=True)
+
+        def spawn_attr(fn):
+            t = threading.Thread(target=fn)
+            t.daemon = False
+            return t
+    """
+    assert rule_ids(source) == []
+
+
+# -- M3D306: callbacks under a lock ----------------------------------------
+
+
+def test_m3d306_fires_on_direct_and_transitive_callback_under_lock():
+    source = """
+        import threading
+
+        class Machine:
+            def __init__(self, on_change):
+                self._lock = threading.Lock()
+                self._on_change = on_change
+
+            def _fire(self):
+                self._on_change("old", "new")
+
+            def direct(self):
+                with self._lock:
+                    self._on_change("a", "b")
+
+            def indirect(self):
+                with self._lock:
+                    self._fire()
+    """
+    findings = lint(source)
+    assert [v.rule_id for v in findings] == ["M3D306", "M3D306"]
+    messages = " ".join(v.message for v in findings)
+    assert "via 'self._fire()'" in messages
+
+
+def test_m3d306_callback_after_lock_release_is_clean():
+    source = """
+        import threading
+
+        class Machine:
+            def __init__(self, on_change):
+                self._lock = threading.Lock()
+                self._on_change = on_change
+
+            def deferred(self):
+                with self._lock:
+                    events = ["x"]
+                for event in events:
+                    self._on_change(event)
+    """
+    assert rule_ids(source) == []
+
+
+# -- suppression pragmas ----------------------------------------------------
+
+
+def test_pragma_with_reason_suppresses_the_finding():
+    source = M3D301_SOURCE.replace(
+        "self._value = 0\n",
+        "self._value = 0  # m3dlint: disable=M3D301 reason=reset is test-only\n",
+    )
+    # only the second occurrence (inside reset) carries the pragma
+    head, _, tail = source.rpartition("self._value = 0")
+    source = head + "self._value = 0  # m3dlint: disable=M3D301 reason=reset is test-only" + tail
+    assert "M3D301" not in [v.rule_id for v in lint(source)]
+
+
+def test_standalone_pragma_covers_the_next_line():
+    source = """
+        import threading
+
+        def racy():
+            # m3dlint: disable=M3D303 reason=demo lock for the docs example
+            guard = threading.Lock()
+            return guard
+    """
+    assert rule_ids(source) == []
+
+
+def test_pragma_without_reason_is_not_honored_and_is_flagged():
+    source = """
+        import threading
+
+        def racy():
+            guard = threading.Lock()  # m3dlint: disable=M3D303
+            return guard
+    """
+    ids = rule_ids(source)
+    assert "M3D303" in ids  # not suppressed
+    assert "M3D300" in ids  # and the malformed pragma is itself flagged
+
+
+def test_stale_pragma_is_flagged():
+    source = """
+        import threading
+
+        MODULE_LOCK = threading.Lock()  # m3dlint: disable=M3D303 reason=stale
+    """
+    ids = rule_ids(source)
+    assert ids == ["M3D300"]
+
+
+def test_pragma_for_inactive_rule_family_is_ignored():
+    # an M3D2xx pragma while only M3D3xx rules run: neither suppression
+    # nor staleness applies
+    source = """
+        def fine():
+            print("hello")  # m3dlint: disable=M3D207 reason=cli surface
+    """
+    assert rule_ids(source) == []
+
+
+def test_parse_pragmas_extracts_ids_and_reason():
+    pragmas = parse_pragmas(
+        "x = 1  # m3dlint: disable=M3D301,M3D302 reason=because physics\n"
+    )
+    assert len(pragmas) == 1
+    assert pragmas[0].rule_ids == ("M3D301", "M3D302")
+    assert pragmas[0].reason == "because physics"
+    assert pragmas[0].target_line == 1
+
+
+# -- acceptance: the repo's own source is concurrency-clean ----------------
+
+
+def test_concurrency_rules_clean_on_own_source():
+    rules = [cls() for cls in BUILTIN_CONCURRENCY_RULES]
+    findings = lint_paths([SRC_DIR], rules=rules)
+    assert findings == [], [f"{v.rule_id} {v.location}: {v.message}" for v in findings]

@@ -86,6 +86,105 @@ def test_rules_subcommand_lists_catalog(capsys):
     assert {"M3D101", "M3D106", "M3D201", "M3D204"} <= catalog
 
 
+def test_concurrency_subcommand_is_clean_on_own_source(capsys):
+    """Acceptance criterion: `m3dlint concurrency src/` runs clean here."""
+    assert main(["concurrency", str(SRC_DIR)]) == EXIT_CLEAN
+    assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+
+def test_concurrency_subcommand_flags_lock_footguns(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(
+        "import threading\n"
+        "def racy(fn):\n"
+        "    guard = threading.Lock()\n"
+        "    t = threading.Thread(target=fn)\n"
+        "    return guard, t\n"
+    )
+    args = ["concurrency", str(tmp_path), "--format", "json", "--fail-on", "warning"]
+    assert main(args) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    fired = {v["rule_id"] for v in payload["violations"]}
+    assert {"M3D303", "M3D305"} <= fired
+
+
+def test_github_format_emits_annotations(tmp_path, capsys):
+    (tmp_path / "serve").mkdir()
+    bad = tmp_path / "serve" / "bad.py"
+    bad.write_text(
+        "import threading\n"
+        "def spawn(fn):\n"
+        "    return threading.Thread(target=fn)\n"
+    )
+    assert main(["concurrency", str(tmp_path), "--format", "github"]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert f"::error file={bad},line=3,title=M3D305::" in out
+
+
+def test_github_format_escapes_newlines_in_messages():
+    from m3d_fault_loc.analysis.cli import _github_annotation
+    from m3d_fault_loc.analysis.violations import Severity, Violation
+
+    v = Violation(
+        rule_id="M3D999", severity=Severity.WARNING, message="a\nb%c", location="x.py:7"
+    )
+    line = _github_annotation(v)
+    assert line == "::warning file=x.py,line=7,title=M3D999::a%0Ab%25c"
+
+
+def warning_only_tree(tmp_path):
+    """A lint target producing exactly one WARNING and zero ERRORs."""
+    (tmp_path / "bad.py").write_text(
+        "import threading\n"
+        "def spawn(fn):\n"
+        "    return threading.Thread(target=fn)\n"
+    )
+    return tmp_path
+
+
+def test_fail_on_error_ignores_warnings(tmp_path, capsys):
+    assert main(["concurrency", str(warning_only_tree(tmp_path))]) == EXIT_CLEAN
+    assert "1 warning(s)" in capsys.readouterr().out
+
+
+def test_fail_on_warning_fails_on_warnings(tmp_path, capsys):
+    target = str(warning_only_tree(tmp_path))
+    assert main(["concurrency", target, "--fail-on", "warning"]) == EXIT_FINDINGS
+    assert main(["concurrency", target, "--fail-on", "never"]) == EXIT_CLEAN
+
+
+def test_fail_on_never_swallows_errors(tmp_path, capsys):
+    (tmp_path / "corrupt.json").write_text("{not json")
+    assert main(["check", str(tmp_path), "--fail-on", "never"]) == EXIT_CLEAN
+    assert "M3D100" in capsys.readouterr().out
+
+
+def test_rules_subcommand_includes_concurrency_family(capsys):
+    assert main(["rules", "--format", "json"]) == EXIT_CLEAN
+    catalog = {r["id"] for r in json.loads(capsys.readouterr().out)}
+    assert {f"M3D30{i}" for i in range(1, 7)} <= catalog
+
+
+def test_duplicate_rule_ids_are_rejected():
+    from m3d_fault_loc.analysis.engine import RuleEngine, RuleRegistry
+    from m3d_fault_loc.analysis.graph_rules import BUILTIN_GRAPH_RULES
+
+    registry = RuleRegistry()
+
+    class RuleA:
+        id = "M3D999"
+
+    class RuleB:
+        id = "M3D999"
+
+    registry.register(RuleA())
+    with pytest.raises(ValueError, match="duplicate rule id: M3D999.*RuleA"):
+        registry.register(RuleB())
+
+    first = BUILTIN_GRAPH_RULES[0]
+    with pytest.raises(ValueError, match="duplicate rule id"):
+        RuleEngine(rules=[first(), first()])
+
+
 def test_cli_runs_as_module(tmp_path):
     make_clean_graph().save(tmp_path / "clean.json")
     proc = subprocess.run(

@@ -1,0 +1,166 @@
+"""Unit tests for the runtime lock-order sanitizer."""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from m3d_fault_loc.testing import racecheck
+
+
+def test_install_uninstall_restores_real_primitives():
+    real_lock, real_rlock = threading.Lock, threading.RLock
+    with racecheck.instrumented():
+        assert threading.Lock is not real_lock
+        assert threading.RLock is not real_rlock
+        assert isinstance(threading.Lock(), racecheck._TrackedLock)
+    assert threading.Lock is real_lock
+    assert threading.RLock is real_rlock
+
+
+def test_nested_install_is_refused():
+    with racecheck.instrumented():
+        try:
+            racecheck.install(racecheck.LockOrderSanitizer())
+        except RuntimeError as exc:
+            assert "already installed" in str(exc)
+        else:  # pragma: no cover - failure path
+            raise AssertionError("second install() should have raised")
+
+
+def test_consistent_order_is_clean():
+    with racecheck.instrumented() as sanitizer:
+        a = threading.Lock()
+        b = threading.Lock()
+        for _ in range(3):
+            with a, b:
+                pass
+    report = sanitizer.report()
+    assert report.inversions == []
+    assert report.acquisitions == 6
+
+
+def test_inversion_detected_without_a_deadlock():
+    """A-then-B followed by B-then-A is flagged even single-threaded."""
+    with racecheck.instrumented() as sanitizer:
+        a = threading.Lock()
+        b = threading.Lock()
+        with a, b:
+            pass
+        with b, a:
+            pass
+    report = sanitizer.report()
+    assert len(report.inversions) == 1
+    inversion = report.inversions[0]
+    assert {inversion.first, inversion.second} == {a._site, b._site}
+    assert "opposite order" in inversion.describe()
+
+
+def test_transitive_inversion_detected():
+    """A->B and B->C order C above A; C-then-A closes the cycle."""
+    with racecheck.instrumented() as sanitizer:
+        a = threading.Lock()
+        b = threading.Lock()
+        c = threading.Lock()
+        with a, b:
+            pass
+        with b, c:
+            pass
+        with c, a:
+            pass
+    assert len(sanitizer.report().inversions) == 1
+
+
+def test_same_class_pairs_are_not_edges():
+    """Two instances born on one line share a lock class: no self-edge."""
+    with racecheck.instrumented() as sanitizer:
+        pair = [threading.Lock() for _ in range(2)]
+        with pair[0], pair[1]:
+            pass
+        with pair[1], pair[0]:
+            pass
+    assert sanitizer.report().inversions == []
+
+
+def test_rlock_reentrancy_is_not_an_inversion():
+    with racecheck.instrumented() as sanitizer:
+        r = threading.RLock()
+        with r:
+            with r:
+                pass
+    report = sanitizer.report()
+    assert report.inversions == []
+    assert report.acquisitions == 1  # only the 0 -> 1 transition counts
+
+
+def test_long_hold_reported_with_thread_name():
+    with racecheck.instrumented(long_hold_ms=20.0) as sanitizer:
+        lock = threading.Lock()
+        with lock:
+            time.sleep(0.05)
+    report = sanitizer.report()
+    assert len(report.long_holds) == 1
+    hold = report.long_holds[0]
+    assert hold.held_ms >= 20.0
+    assert hold.thread
+    assert "held" in hold.describe()
+
+
+def test_foreign_release_reported():
+    with racecheck.instrumented() as sanitizer:
+        lock = threading.Lock()
+        lock.acquire()
+        t = threading.Thread(target=lock.release, daemon=True)
+        t.start()
+        t.join(2.0)
+    report = sanitizer.report()
+    assert len(report.foreign_releases) == 1
+    assert report.foreign_releases[0].owner != report.foreign_releases[0].releaser
+
+
+def test_event_and_queue_work_under_instrumentation():
+    """stdlib synchronization built on patched Lock/RLock keeps working."""
+    with racecheck.instrumented() as sanitizer:
+        ev = threading.Event()
+        q: queue.Queue[int] = queue.Queue(maxsize=2)
+
+        def worker() -> None:
+            q.put(42)
+            ev.set()
+
+        t = threading.Thread(target=worker, daemon=True)
+        t.start()
+        assert ev.wait(timeout=2.0)
+        assert q.get(timeout=2.0) == 42
+        t.join(2.0)
+    assert sanitizer.report().inversions == []
+
+
+def test_condition_wait_ends_the_hold_window():
+    """A long Condition.wait must not be misreported as a long hold."""
+    with racecheck.instrumented(long_hold_ms=30.0) as sanitizer:
+        cond = threading.Condition(threading.RLock())
+
+        def waker() -> None:
+            time.sleep(0.08)
+            with cond:
+                cond.notify_all()
+
+        t = threading.Thread(target=waker, daemon=True)
+        with cond:
+            t.start()
+            cond.wait(timeout=2.0)
+        t.join(2.0)
+    report = sanitizer.report()
+    assert report.long_holds == [], [h.describe() for h in report.long_holds]
+
+
+def test_report_summary_counts():
+    with racecheck.instrumented() as sanitizer:
+        lock = threading.Lock()
+        with lock:
+            pass
+    summary = sanitizer.report().summary()
+    assert "1 acquisition(s)" in summary
+    assert "0 inversion(s)" in summary
