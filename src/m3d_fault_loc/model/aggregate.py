@@ -1,0 +1,223 @@
+"""Cached CSR aggregation operators for the localizer hot path.
+
+The localizer's forward pass is dominated by two costs: the sparse
+in-neighbor-mean operator build (in-degree scatter, COO assembly, CSR
+conversion) and, on the batch path, ``scipy.sparse.block_diag`` re-packing
+every per-graph operator on every request. Both are pure functions of the
+graph *topology*, which in a serving workload repeats far more often than
+the feature matrix does — so this module makes them cacheable:
+
+- :func:`build_in_neighbor_mean` is the one true operator constructor
+  (``m3d_fault_loc.model.localizer.in_neighbor_mean`` delegates here);
+- :class:`AggregationOperatorCache` is a byte-bounded, thread-safe LRU of
+  built operators keyed by a content digest (the serve layer passes the
+  request digest it already computed; standalone callers get a cheaper
+  topology-only digest computed here);
+- :func:`stack_block_diagonal` assembles the batched block-diagonal
+  operator by *segment-offset concatenation* of the cached per-graph CSR
+  arrays — same nonzeros in the same row-major order as
+  ``sp.block_diag(..., format="csr")``, so batched matvecs produce
+  bit-identical floats, without the COO round-trip.
+
+Exactness matters: the serving stack promises ``node_scores_batch`` equals
+``node_scores`` to the last ulp, and that promise survives precisely
+because a cached operator is the *same array contents* a fresh build would
+produce (asserted by the parity suite in ``tests/test_agg_cache.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from m3d_fault_loc.graph.schema import CircuitGraph
+
+#: Bump when the operator recipe changes; keys from different recipes never mix.
+_TOPOLOGY_RECIPE = b"m3d-agg-topology-v1"
+
+#: Default byte budget for cached operator arrays (data + indices + indptr).
+DEFAULT_CAPACITY_BYTES = 64 * 1024 * 1024
+#: Default cap on cached operator count, independent of the byte budget.
+DEFAULT_MAX_ENTRIES = 1024
+
+
+def build_in_neighbor_mean(graph: CircuitGraph, dtype: np.dtype | type = np.float64) -> sp.csr_matrix:
+    """Row-normalized in-neighbor aggregation matrix M, so ``(M @ H)[i]`` is
+    the mean feature of i's upstream drivers (zero row for PIs)."""
+    n = graph.num_nodes
+    if graph.num_edges == 0:
+        return sp.csr_matrix((n, n), dtype=dtype)
+    src, dst = graph.edge_index[0], graph.edge_index[1]
+    indeg = np.maximum(graph.in_degrees(), 1).astype(np.float64)
+    weights = (1.0 / indeg[dst]).astype(dtype, copy=False)
+    m = sp.csr_matrix((weights, (dst, src)), shape=(n, n))
+    m.sort_indices()
+    return m
+
+
+def topology_digest(graph: CircuitGraph) -> str:
+    """Content hash of exactly what determines the aggregation operator.
+
+    Deliberately narrower than the serve layer's ``graph_digest``: features,
+    tiers, and labels don't enter the operator, so two fault observations of
+    the same netlist share one cached operator under this key.
+    """
+    h = hashlib.sha256(_TOPOLOGY_RECIPE)
+    h.update(str(graph.num_nodes).encode())
+    edges = np.ascontiguousarray(graph.edge_index)
+    h.update(str(edges.dtype).encode())
+    h.update(str(edges.shape).encode())
+    h.update(edges.tobytes())
+    return h.hexdigest()
+
+
+def operator_nbytes(m: sp.csr_matrix) -> int:
+    """Resident size of one cached operator's arrays."""
+    return int(m.data.nbytes + m.indices.nbytes + m.indptr.nbytes)
+
+
+def stack_block_diagonal(ops: Sequence[sp.csr_matrix]) -> sp.csr_matrix:
+    """Block-diagonal CSR from per-graph CSR operators, by concatenation.
+
+    Equivalent to ``sp.block_diag(ops, format="csr")`` — identical ``data``,
+    ``indices``, and ``indptr`` contents — but built in O(nnz) array
+    concatenations with no COO intermediate. Each block's column indices are
+    shifted by its row offset (the blocks are square), and the row-pointer
+    segments are shifted by the running nonzero count.
+    """
+    if not ops:
+        return sp.csr_matrix((0, 0))
+    if len(ops) == 1:
+        return ops[0]
+    sizes = np.asarray([m.shape[0] for m in ops], dtype=np.int64)
+    nnzs = np.asarray([m.nnz for m in ops], dtype=np.int64)
+    row_offsets = np.concatenate(([0], np.cumsum(sizes)))
+    nnz_offsets = np.concatenate(([0], np.cumsum(nnzs)))
+    total = int(row_offsets[-1])
+
+    data = np.concatenate([m.data for m in ops])
+    indices = np.concatenate(
+        [m.indices.astype(np.int64, copy=False) + off for m, off in zip(ops, row_offsets)]
+    )
+    indptr = np.concatenate(
+        [np.asarray([0], dtype=np.int64)]
+        + [m.indptr[1:].astype(np.int64, copy=False) + off for m, off in zip(ops, nnz_offsets)]
+    )
+    out = sp.csr_matrix((data, indices, indptr), shape=(total, total))
+    # Per-block indices were sorted at build time and offsets preserve order.
+    out.has_sorted_indices = True
+    return out
+
+
+class AggregationOperatorCache:
+    """Byte-bounded, thread-safe LRU of built aggregation operators.
+
+    Keys are caller-supplied digests (the serve layer reuses the request's
+    content digest, already paid for) or, when none is given, the cheaper
+    :func:`topology_digest`. Both are SHA-256 content hashes, so a key
+    collision means identical bytes — a colliding-but-different graph cannot
+    occur short of breaking the hash, and distinct topologies always land in
+    distinct entries (asserted in the collision-safety tests).
+
+    Eviction is LRU under two simultaneous bounds: total resident operator
+    bytes (``capacity_bytes``) and entry count (``max_entries``). A single
+    operator larger than the whole byte budget is returned but never
+    retained, so one million-gate graph cannot pin the cache.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
+        if capacity_bytes < 1:
+            raise ValueError(f"capacity_bytes must be >= 1, got {capacity_bytes}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.capacity_bytes = capacity_bytes
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, sp.csr_matrix] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _key(self, graph: CircuitGraph, dtype: np.dtype, digest: str | None) -> str:
+        base = digest if digest is not None else topology_digest(graph)
+        return f"{np.dtype(dtype)}:{base}"
+
+    def get_or_build(
+        self,
+        graph: CircuitGraph,
+        dtype: np.dtype | type = np.float64,
+        digest: str | None = None,
+    ) -> sp.csr_matrix:
+        """Cached operator for ``graph``, building (and retaining) on a miss."""
+        dtype = np.dtype(dtype)
+        key = self._key(graph, dtype, digest)
+        with self._lock:
+            m = self._entries.get(key)
+            if m is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return m
+            self.misses += 1
+        m = build_in_neighbor_mean(graph, dtype=dtype)
+        cost = operator_nbytes(m)
+        with self._lock:
+            if cost <= self.capacity_bytes and key not in self._entries:
+                self._entries[key] = m
+                self._bytes += cost
+                self._evict_locked()
+        return m
+
+    def batch_operator(
+        self,
+        graphs: Sequence[CircuitGraph],
+        dtype: np.dtype | type = np.float64,
+        digests: Sequence[str | None] | None = None,
+    ) -> sp.csr_matrix:
+        """Block-diagonal batch operator assembled from cached per-graph CSRs."""
+        if digests is not None and len(digests) != len(graphs):
+            raise ValueError(f"got {len(digests)} digests for {len(graphs)} graphs")
+        ops = [
+            self.get_or_build(g, dtype=dtype, digest=digests[i] if digests else None)
+            for i, g in enumerate(graphs)
+        ]
+        return stack_block_diagonal(ops)
+
+    def _evict_locked(self) -> None:
+        while self._entries and (
+            self._bytes > self.capacity_bytes or len(self._entries) > self.max_entries
+        ):
+            _, victim = self._entries.popitem(last=False)
+            # m3dlint: disable=M3D301 reason=_locked helper, only called with _lock held
+            self._bytes -= operator_nbytes(victim)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "bytes": self._bytes,
+                "capacity_bytes": self.capacity_bytes,
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

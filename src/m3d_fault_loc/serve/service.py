@@ -320,8 +320,12 @@ class LocalizationService:
         """Identity of the model currently answering requests (``/model``)."""
         return dict(self._model_state[1])
 
-    def cache_stats(self) -> dict[str, int]:
-        return self._cache.stats()
+    def cache_stats(self) -> dict[str, Any]:
+        stats: dict[str, Any] = self._cache.stats()
+        agg = getattr(self._model_state[0], "agg_cache", None)
+        if agg is not None:
+            stats["agg_operator"] = agg.stats()
+        return stats
 
     def health_snapshot(self) -> dict[str, Any]:
         """Structured health for ``/healthz``: status machine + components."""
@@ -650,7 +654,11 @@ class LocalizationService:
         model, info, prefix = self._model_state
         t0 = time.perf_counter()
         try:
-            scores_per_graph = model.node_scores_batch([p.graph for p in batch])
+            # Request digests double as aggregation-operator cache keys: a
+            # repeat topology skips the sparse-operator rebuild entirely.
+            scores_per_graph = model.node_scores_batch(
+                [p.graph for p in batch], digests=[p.digest for p in batch]
+            )
         except Exception as exc:
             self._breaker.record_failure()
             for p in batch:

@@ -62,9 +62,11 @@ class ChaosModelWrapper:
             self.batch_calls += 1
             return self.batch_calls
 
-    def node_scores_batch(self, graphs: Sequence[CircuitGraph]) -> list[np.ndarray]:
+    def node_scores_batch(
+        self, graphs: Sequence[CircuitGraph], digests: Sequence[str | None] | None = None
+    ) -> list[np.ndarray]:
         self._next_call()
-        return self._base.node_scores_batch(graphs)
+        return self._base.node_scores_batch(graphs, digests=digests)
 
 
 class CrashOnNthBatchModel(ChaosModelWrapper):
@@ -96,7 +98,9 @@ class CrashOnNthBatchModel(ChaosModelWrapper):
         self.kill_worker = kill_worker
         self.message = message
 
-    def node_scores_batch(self, graphs: Sequence[CircuitGraph]) -> list[np.ndarray]:
+    def node_scores_batch(
+        self, graphs: Sequence[CircuitGraph], digests: Sequence[str | None] | None = None
+    ) -> list[np.ndarray]:
         call = self._next_call()
         should_crash = call >= self.crash_on and (
             self.crash_count is None or call < self.crash_on + self.crash_count
@@ -106,7 +110,7 @@ class CrashOnNthBatchModel(ChaosModelWrapper):
             if self.kill_worker:
                 raise WorkerKilled(detail)
             raise RuntimeError(detail)
-        return self._base.node_scores_batch(graphs)
+        return self._base.node_scores_batch(graphs, digests=digests)
 
 
 class SlowBatchModel(ChaosModelWrapper):
@@ -122,11 +126,13 @@ class SlowBatchModel(ChaosModelWrapper):
         self.delay_s = delay_s
         self.slow_calls = slow_calls
 
-    def node_scores_batch(self, graphs: Sequence[CircuitGraph]) -> list[np.ndarray]:
+    def node_scores_batch(
+        self, graphs: Sequence[CircuitGraph], digests: Sequence[str | None] | None = None
+    ) -> list[np.ndarray]:
         call = self._next_call()
         if self.slow_calls is None or call <= self.slow_calls:
             time.sleep(self.delay_s)
-        return self._base.node_scores_batch(graphs)
+        return self._base.node_scores_batch(graphs, digests=digests)
 
 
 def corrupt_artifact(

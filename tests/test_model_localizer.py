@@ -116,3 +116,69 @@ def test_same_seed_same_init():
     b = DelayFaultLocalizer(hidden=8, seed=9)
     for key in a.params:
         assert np.array_equal(a.params[key], b.params[key])
+
+
+def test_single_graph_batch_falls_through_to_node_scores(dataset):
+    model = DelayFaultLocalizer(hidden=8, seed=4)
+    graph = dataset[0]
+    (plain,) = model.node_scores_batch([graph])
+    assert np.array_equal(plain, model.node_scores(graph))
+    (keyed,) = model.node_scores_batch([graph], digests=["req-digest"])
+    assert np.array_equal(keyed, plain)
+    stats = model.agg_cache.stats()
+    assert stats["size"] <= 2  # one topology key + one request-digest key
+
+
+def test_scratch_buffer_reuse_never_changes_scores(dataset):
+    """Consecutive forwards of different sizes through one model (reusing and
+    reallocating the thread-local scratch) match a fresh model per call."""
+    warm = DelayFaultLocalizer(hidden=8, seed=6)
+    order = [dataset[0], dataset[1], dataset[0], dataset[2], dataset[0]]
+    for graph in order:
+        fresh = DelayFaultLocalizer(hidden=8, seed=6)
+        assert np.array_equal(warm.node_scores(graph), fresh.node_scores(graph))
+
+
+def test_digest_keyed_scoring_hits_operator_cache(dataset):
+    model = DelayFaultLocalizer(hidden=8, seed=4)
+    graph = dataset[0]
+    first = model.node_scores(graph, digest="request-digest")
+    assert model.agg_cache.stats()["hits"] == 0
+    second = model.node_scores(graph, digest="request-digest")
+    assert model.agg_cache.stats()["hits"] == 1
+    assert np.array_equal(first, second)
+
+
+def test_float32_precision_tracks_float64_within_tolerance(dataset):
+    f64 = DelayFaultLocalizer(hidden=16, seed=7)
+    f32 = DelayFaultLocalizer(hidden=16, seed=7, precision="float32")
+    for graph in (dataset[0], dataset[1]):
+        exact = f64.node_scores(graph)
+        approx = f32.node_scores(graph)
+        assert approx.dtype == np.float32
+        np.testing.assert_allclose(approx, exact, rtol=1e-4, atol=1e-4)
+    batched = f32.node_scores_batch([dataset[0], dataset[1]])
+    for graph, scores in zip((dataset[0], dataset[1]), batched):
+        assert np.array_equal(scores, f32.node_scores(graph))
+
+
+def test_set_precision_validates_and_resnapshots(dataset):
+    model = DelayFaultLocalizer(hidden=8, seed=7, precision="float32")
+    with pytest.raises(ValueError, match="precision"):
+        model.set_precision("float16")
+    graph = dataset[0]
+    before = model.node_scores(graph)
+    model.params["b3"] += 1.0  # float32 forward reads a stale snapshot...
+    assert np.array_equal(model.node_scores(graph), before)
+    model.set_precision("float32")  # ...until the snapshot is refreshed
+    np.testing.assert_allclose(model.node_scores(graph), before + np.float32(1.0))
+
+
+def test_float64_forward_sees_in_place_param_updates(dataset):
+    """The default precision computes on params directly — an optimizer step
+    is visible with no re-snapshot, matching pre-precision-knob behavior."""
+    model = DelayFaultLocalizer(hidden=8, seed=7)
+    graph = dataset[0]
+    before = model.node_scores(graph)
+    model.params["b3"] += 1.0
+    assert np.allclose(model.node_scores(graph), before + 1.0)
