@@ -3,7 +3,9 @@
 Subcommands:
 
 - ``m3dlint check PATH [PATH...]`` — run the netlist contract checker over
-  serialized circuit graphs (``*.json`` files or directories of them).
+  serialized circuit graphs (``*.json`` files or directories of them);
+  ``--scenario NAME`` composes that scenario's M3D11x payload rules into
+  the engine, gating the graphs exactly as ``/localize`` would.
 - ``m3dlint code PATH [PATH...]`` — run the AST lint pass over Python files
   or source trees (M3D2xx GNN-stack footguns).
 - ``m3dlint concurrency PATH [PATH...]`` — run the lock-discipline lint
@@ -32,6 +34,12 @@ from m3d_fault_loc.analysis.concurrency_rules import BUILTIN_CONCURRENCY_RULES
 from m3d_fault_loc.analysis.engine import RuleConfig, RuleRegistry, default_engine
 from m3d_fault_loc.analysis.violations import Severity, Violation
 from m3d_fault_loc.graph.schema import CircuitGraph
+from m3d_fault_loc.scenarios import (
+    SCENARIO_GRAPH_RULES,
+    UnknownScenarioError,
+    build_scenario_engine,
+    scenario_names,
+)
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -126,6 +134,15 @@ def _report(
 
 def _cmd_check(args: argparse.Namespace) -> int:
     engine = default_engine(RuleConfig(max_fanout=args.max_fanout))
+    if args.scenario is not None:
+        try:
+            engine = build_scenario_engine(args.scenario, base_engine=engine)
+        except UnknownScenarioError as exc:
+            print(
+                f"m3dlint: unknown scenario {exc.name!r}; known: {', '.join(exc.known)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
     try:
         files = _collect_graph_files([Path(p) for p in args.paths])
     except FileNotFoundError as exc:
@@ -183,6 +200,7 @@ def _cmd_concurrency(args: argparse.Namespace) -> int:
 def _cmd_rules(args: argparse.Namespace) -> int:
     engine = default_engine()
     rows = [(r.id, str(r.severity), r.description) for r in engine.rules]
+    rows += [(r.id, str(r.severity), r.description) for r in SCENARIO_GRAPH_RULES]
     rows += [(r.id, str(r.severity), r.description) for r in code_rule_catalog().rules]
     if args.format == "json":
         print(
@@ -216,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help="validate serialized circuit graphs")
     check.add_argument("paths", nargs="+", help="graph JSON files or directories")
     check.add_argument("--max-fanout", type=int, default=RuleConfig().max_fanout)
+    check.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default=None,
+        help="also enforce this scenario's M3D11x payload rules",
+    )
     _add_common_flags(check)
     check.set_defaults(func=_cmd_check)
 

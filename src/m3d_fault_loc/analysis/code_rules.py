@@ -22,7 +22,11 @@ code rather than general style (which ruff covers):
 - **M3D208** ``scipy.sparse`` block-diagonal construction (escalated to
   ERROR inside the serving layer, whose hot path must use the cached
   segment-offset aggregation operators instead of re-packing a
-  block-diagonal matrix per request).
+  block-diagonal matrix per request),
+- **M3D209** draws from the process-global numpy stream (``np.random.*``)
+  or unseeded ``default_rng()`` (escalated to ERROR inside scenario and
+  dataset generators, whose whole contract is byte-identical regeneration
+  from a spec'd seed).
 """
 
 from __future__ import annotations
@@ -487,6 +491,92 @@ class SparseBlockDiagRule(CodeRule):
         return aliases
 
 
+class ScenarioRngDisciplineRule(CodeRule):
+    """Scenario and dataset generators promise byte-identical regeneration
+    from ``ScenarioSpec.seed`` — a draw from the process-global numpy stream
+    (``np.random.uniform(...)``) or an unseeded ``default_rng()`` silently
+    breaks that promise: the output depends on import order and whatever ran
+    before. Thread an explicitly seeded ``numpy.random.Generator``
+    (``ScenarioSpec.rng()``) through instead. WARNING elsewhere, ERROR under
+    ``scenarios/`` and ``data/`` sources. ``np.random.seed`` is M3D203's
+    finding, not this rule's; the blessed seed utility is exempt."""
+
+    id = "M3D209"
+    severity = Severity.WARNING
+    description = (
+        "no global-stream np.random draws or unseeded default_rng() "
+        "(ERROR under scenarios/ and data/ code)"
+    )
+
+    #: Path parts where determinism is the module's contract.
+    STRICT_PARTS = ("scenarios", "data")
+    #: ``np.random`` attributes that are not global-stream draws.
+    _NON_DRAW_ATTRS = {
+        "default_rng", "seed", "get_state", "set_state",
+        "Generator", "RandomState", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+    }
+    _NP_ROOTS = ("np", "numpy")
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        if path.name in BLESSED_SEED_MODULES:
+            return []
+        strict = any(part in self.STRICT_PARTS for part in path.parts)
+        severity = Severity.ERROR if strict else Severity.WARNING
+        where = " inside generator code" if strict else ""
+        rng_aliases = self._default_rng_aliases(tree)
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            unseeded = not node.args and not node.keywords
+            if len(dotted) == 1 and dotted[0] in rng_aliases:
+                if unseeded:
+                    findings.append(self._unseeded_rng(path, node.lineno, severity, where))
+                continue
+            if len(dotted) != 3 or dotted[0] not in self._NP_ROOTS or dotted[1] != "random":
+                continue
+            attr = dotted[2]
+            if attr == "default_rng":
+                if unseeded:
+                    findings.append(self._unseeded_rng(path, node.lineno, severity, where))
+            elif attr not in self._NON_DRAW_ATTRS:
+                findings.append(
+                    self.violation(
+                        f"np.random.{attr}() draws from the process-global "
+                        f"stream{where}; thread a seeded numpy.random.Generator "
+                        "(e.g. ScenarioSpec.rng()) instead",
+                        path,
+                        node.lineno,
+                        severity,
+                    )
+                )
+        return findings
+
+    def _unseeded_rng(
+        self, path: Path, line: int, severity: Severity, where: str
+    ) -> Violation:
+        return self.violation(
+            f"unseeded default_rng(){where} makes output depend on entropy, "
+            "not the spec; pass an explicit seed (e.g. ScenarioSpec.rng())",
+            path,
+            line,
+            severity,
+        )
+
+    @staticmethod
+    def _default_rng_aliases(tree: ast.Module) -> set[str]:
+        """Local names bound to ``numpy.random.default_rng`` by imports."""
+        aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for a in node.names:
+                    if a.name == "default_rng":
+                        aliases.add(a.asname or a.name)
+        return aliases
+
+
 #: Full built-in catalog, in rule-id order.
 BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     MixedDeviceTransferRule,
@@ -497,6 +587,7 @@ BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     UnguardedThreadLoopRule,
     UnstructuredOutputRule,
     SparseBlockDiagRule,
+    ScenarioRngDisciplineRule,
 )
 
 

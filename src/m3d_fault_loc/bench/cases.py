@@ -26,6 +26,8 @@ from m3d_fault_loc.graph.builder import build_circuit_graph
 from m3d_fault_loc.graph.schema import CircuitGraph
 from m3d_fault_loc.model.aggregate import build_in_neighbor_mean
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.model.optim import Adam
+from m3d_fault_loc.scenarios import ScenarioSpec, registered_scenarios
 from m3d_fault_loc.serve.cache import LRUResultCache, graph_digest
 from m3d_fault_loc.serve.service import LocalizationService
 
@@ -205,6 +207,58 @@ def _case_e2e_localize(workload: Workload, ctx: BenchContext) -> PreparedCase:
     return fn, meta, cleanup
 
 
+def _case_scenario_generate(workload: Workload, ctx: BenchContext) -> PreparedCase:
+    """One tiny seeded dataset per registered scenario per call — measures the
+    scenario generators themselves (netlist synthesis + fault payload
+    construction), sized so the per-scenario cost stays comparable across
+    workload sizes."""
+    scenarios = registered_scenarios()
+    spec = ScenarioSpec(
+        n_graphs=2,
+        n_gates=workload.spec.n_gates,
+        n_inputs=workload.spec.n_inputs,
+        num_tiers=workload.spec.num_tiers,
+        seed=workload.spec.seed,
+    )
+
+    def fn() -> int:
+        total = 0
+        for scenario in scenarios:
+            total += sum(g.num_nodes for g in scenario.generate(spec))
+        return total
+
+    meta = {
+        "scenarios_per_call": len(scenarios),
+        "graphs_per_scenario": spec.n_graphs,
+    }
+    return fn, meta, None
+
+
+def _case_train_epoch(workload: Workload, ctx: BenchContext) -> PreparedCase:
+    """One full training epoch over the workload graphs: per-graph
+    ``loss_and_grads`` backward passes, gradient accumulation, and an Adam
+    step per minibatch — the ``m3d-train`` inner loop on production code."""
+    model = ctx.make_model()
+    optimizer = Adam(model.params, lr=1e-3)
+    graphs = workload.graphs
+
+    def fn() -> float:
+        total_loss = 0.0
+        for start in range(0, len(graphs), ctx.batch_size):
+            batch = graphs[start : start + ctx.batch_size]
+            grads = {k: np.zeros_like(v) for k, v in model.params.items()}
+            for graph in batch:
+                loss, g = model.loss_and_grads(graph)
+                total_loss += loss
+                for k in grads:
+                    grads[k] += g[k] / len(batch)
+            optimizer.step(grads)
+        return total_loss
+
+    meta = {"graphs_per_call": len(graphs), "batch_size": ctx.batch_size}
+    return fn, meta, None
+
+
 #: Case catalog in report order. Keys are the public case names.
 CASES: dict[str, Callable[[Workload, BenchContext], PreparedCase]] = {
     "graph_build": _case_graph_build,
@@ -214,6 +268,8 @@ CASES: dict[str, Callable[[Workload, BenchContext], PreparedCase]] = {
     "node_scores": _case_node_scores,
     "node_scores_batch": _case_node_scores_batch,
     "node_scores_batch_legacy": _case_node_scores_batch_legacy,
+    "train_epoch": _case_train_epoch,
+    "scenario_generate": _case_scenario_generate,
     "e2e_localize": _case_e2e_localize,
 }
 
@@ -225,5 +281,7 @@ CASE_DESCRIPTIONS: dict[str, str] = {
     "node_scores": "single-graph forward pass (warm operator cache)",
     "node_scores_batch": "batched forward, cached operators + segment-offset stacking",
     "node_scores_batch_legacy": "pre-PR batched forward: block_diag rebuild every call",
+    "train_epoch": "one m3d-train epoch: loss_and_grads + Adam over the workload",
+    "scenario_generate": "tiny seeded dataset from every registered scenario generator",
     "e2e_localize": "end-to-end localize() under concurrent client threads",
 }

@@ -3,12 +3,15 @@
 Usage::
 
     PYTHONPATH=src python -m m3d_fault_loc.cli.evaluate --model runs/localizer.npz \
-        [--data-dir graphs/] [--top-k 3]
+        [--data-dir graphs/] [--top-k 3] [--scenario seu_bitflip]
 
-Reports top-1 and top-k localization accuracy; the dataset passes through the
-same contract gate as training. ``--metrics-log`` appends the numbers as an
-``eval`` JSONL record — the same stream ``m3d-train --metrics-log`` writes,
-summarized by ``m3d-obs train``.
+Reports top-1 and top-k localization accuracy plus the scenario's own
+metrics (e.g. ``coverage_at_k`` for ``multi_delay``, ``pearson_r`` for
+``aging_drift``); the dataset passes through the same contract gate as
+training, composed with the scenario's M3D11x rules. ``--metrics-log``
+appends the numbers as an ``eval`` JSONL record tagged with the scenario —
+the same stream ``m3d-train --metrics-log`` writes, summarized by
+``m3d-obs train``.
 """
 
 from __future__ import annotations
@@ -20,9 +23,15 @@ from pathlib import Path
 import numpy as np
 
 from m3d_fault_loc.data.dataset import CircuitGraphDataset, GraphContractError
-from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
 from m3d_fault_loc.obs.telemetry import TelemetryWriter
+from m3d_fault_loc.scenarios import (
+    DEFAULT_SCENARIO,
+    ScenarioSpec,
+    build_scenario_engine,
+    get_scenario,
+    scenario_names,
+)
 from m3d_fault_loc.utils.seed import seed_everything
 
 
@@ -47,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--n-inputs", type=int, default=6)
     parser.add_argument("--num-tiers", type=int, default=2)
     parser.add_argument("--top-k", type=int, default=3)
+    parser.add_argument("--scenario", choices=scenario_names(), default=DEFAULT_SCENARIO,
+                        help="fault scenario: picks the generator, contract rules, and metric")
     parser.add_argument("--data-dir", type=Path, default=None,
                         help="evaluate on saved graphs instead of synthesizing")
     parser.add_argument("--metrics-log", type=Path, default=None,
@@ -56,41 +67,53 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    rng = seed_everything(args.seed)
+    seed_everything(args.seed)
+    scenario = get_scenario(args.scenario)
+    engine = build_scenario_engine(scenario.name)
     if not args.model.exists():
         print(f"no such model file: {args.model}", file=sys.stderr)
         return 2
     model = DelayFaultLocalizer.load(args.model)
     try:
         if args.data_dir is not None:
-            dataset = CircuitGraphDataset.load_dir(args.data_dir)
+            dataset = CircuitGraphDataset.load_dir(args.data_dir, engine=engine)
         else:
             dataset = CircuitGraphDataset.from_graphs(
-                synthesize_fault_dataset(
-                    rng,
-                    n_graphs=args.n_graphs,
-                    n_gates=args.n_gates,
-                    n_inputs=args.n_inputs,
-                    num_tiers=args.num_tiers,
-                )
+                scenario.generate(
+                    ScenarioSpec(
+                        n_graphs=args.n_graphs,
+                        n_gates=args.n_gates,
+                        n_inputs=args.n_inputs,
+                        num_tiers=args.num_tiers,
+                        seed=args.seed,
+                    )
+                ),
+                engine=engine,
             )
     except GraphContractError as exc:
         print(f"contract gate rejected the dataset: {exc}", file=sys.stderr)
         return 1
+    # Legacy hit@k on fault_index stays unconditional — every scenario labels a
+    # primary site — so downstream telemetry consumers keep their fields.
     top1 = top_k_accuracy(model, dataset, 1)
     topk = top_k_accuracy(model, dataset, args.top_k)
-    print(f"evaluated {len(dataset)} graphs")
+    scenario_metrics = scenario.evaluate(model, list(dataset), k=args.top_k)
+    print(f"evaluated {len(dataset)} graphs (scenario: {scenario.name})")
     print(f"top-1 localization accuracy: {top1:.3f}")
     print(f"top-{args.top_k} localization accuracy: {topk:.3f}")
+    for key in sorted(scenario_metrics):
+        print(f"{scenario.name} {key}: {scenario_metrics[key]:.4f}")
     if args.metrics_log is not None:
         with TelemetryWriter(args.metrics_log) as telemetry:
             telemetry.emit(
                 "eval",
                 model=str(args.model),
+                scenario=scenario.name,
                 n_graphs=len(dataset),
                 top1=round(top1, 4),
                 k=args.top_k,
                 top_k_accuracy=round(topk, 4),
+                **{k: round(v, 4) for k, v in sorted(scenario_metrics.items())},
             )
     return 0
 

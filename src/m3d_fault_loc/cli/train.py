@@ -3,11 +3,14 @@
 Usage::
 
     PYTHONPATH=src python -m m3d_fault_loc.cli.train --n-graphs 200 --epochs 30 \
-        --out runs/localizer.npz [--data-dir graphs/]
+        --out runs/localizer.npz [--data-dir graphs/] [--scenario multi_delay]
 
-Every graph — synthetic or loaded — passes through the ``m3dlint`` contract
-gate inside :class:`CircuitGraphDataset`; a contract violation aborts the run
-before the first epoch rather than after it.
+``--scenario`` picks the fault scenario whose registered generator
+synthesizes the training set (default ``single_delay``, the paper's
+workload). Every graph — synthetic or loaded — passes through the
+``m3dlint`` contract gate inside :class:`CircuitGraphDataset`, composed
+with the scenario's M3D11x payload rules; a contract violation aborts the
+run before the first epoch rather than after it.
 
 ``--metrics-log runs/train.jsonl`` appends one JSONL record per epoch
 (loss, pre-clip gradient norm, learning rate, wall time) plus a final record
@@ -24,7 +27,6 @@ from pathlib import Path
 import numpy as np
 
 from m3d_fault_loc.data.dataset import CircuitGraphDataset, GraphContractError
-from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
 from m3d_fault_loc.model.optim import (
     Adam,
@@ -33,6 +35,13 @@ from m3d_fault_loc.model.optim import (
     global_grad_norm,
 )
 from m3d_fault_loc.obs.telemetry import TelemetryWriter
+from m3d_fault_loc.scenarios import (
+    DEFAULT_SCENARIO,
+    ScenarioSpec,
+    build_scenario_engine,
+    get_scenario,
+    scenario_names,
+)
 from m3d_fault_loc.utils.seed import seed_everything
 
 
@@ -55,6 +64,7 @@ def train(
     clip_norm: float | None = None,
     log=print,
     telemetry: TelemetryWriter | None = None,
+    scenario: str | None = None,
 ) -> DelayFaultLocalizer:
     """Full-batch-per-graph training with minibatch gradient accumulation.
 
@@ -63,7 +73,8 @@ def train(
     downstream registry/serving step. ``clip_norm`` (optional) clips each
     accumulated minibatch gradient to that global L2 norm before the
     optimizer step. ``telemetry`` (optional) receives one ``epoch`` event
-    per epoch: mean loss, max pre-clip gradient norm, lr, wall time.
+    per epoch: mean loss, max pre-clip gradient norm, lr, wall time —
+    tagged with ``scenario`` when one is named.
     """
     model = DelayFaultLocalizer(hidden=hidden, seed=seed)
     optimizer = Adam(model.params, lr=lr)
@@ -94,6 +105,7 @@ def train(
             max_norm = max(max_norm, norm)
             optimizer.step(grads)
         if telemetry is not None:
+            tagged = {} if scenario is None else {"scenario": scenario}
             telemetry.emit(
                 "epoch",
                 epoch=epoch,
@@ -101,6 +113,7 @@ def train(
                 grad_norm=round(max_norm, 6),
                 lr=lr,
                 wall_s=round(time.perf_counter() - epoch_t0, 6),
+                **tagged,
             )
         if log is not None and (epoch == epochs - 1 or epoch % 5 == 0):
             acc = localization_accuracy(model, dataset)
@@ -132,6 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="clip accumulated gradients to this global L2 norm")
     parser.add_argument("--hidden", type=int, default=32)
     parser.add_argument("--test-fraction", type=_fraction, default=0.2)
+    parser.add_argument("--scenario", choices=scenario_names(), default=DEFAULT_SCENARIO,
+                        help="fault scenario whose generator synthesizes the dataset")
     parser.add_argument("--data-dir", type=Path, default=None,
                         help="load graphs from a directory instead of synthesizing")
     parser.add_argument("--save-data-dir", type=Path, default=None,
@@ -145,18 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     rng = seed_everything(args.seed)
+    scenario = get_scenario(args.scenario)
+    engine = build_scenario_engine(scenario.name)
     try:
         if args.data_dir is not None:
-            dataset = CircuitGraphDataset.load_dir(args.data_dir)
+            dataset = CircuitGraphDataset.load_dir(args.data_dir, engine=engine)
         else:
-            graphs = synthesize_fault_dataset(
-                rng,
-                n_graphs=args.n_graphs,
-                n_gates=args.n_gates,
-                n_inputs=args.n_inputs,
-                num_tiers=args.num_tiers,
+            graphs = scenario.generate(
+                ScenarioSpec(
+                    n_graphs=args.n_graphs,
+                    n_gates=args.n_gates,
+                    n_inputs=args.n_inputs,
+                    num_tiers=args.num_tiers,
+                    seed=args.seed,
+                )
             )
-            dataset = CircuitGraphDataset.from_graphs(graphs)
+            dataset = CircuitGraphDataset.from_graphs(graphs, engine=engine)
     except GraphContractError as exc:
         print(f"contract gate rejected the dataset: {exc}", file=sys.stderr)
         return 1
@@ -179,11 +198,14 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             clip_norm=args.clip_norm,
             telemetry=telemetry,
+            scenario=scenario.name,
         )
     except NonFiniteLossError as exc:
         print(f"training aborted: {exc}", file=sys.stderr)
         if telemetry is not None:
-            telemetry.emit("aborted", reason="non_finite_loss", detail=str(exc))
+            telemetry.emit(
+                "aborted", reason="non_finite_loss", detail=str(exc), scenario=scenario.name
+            )
             telemetry.close()
         return 1
     test_acc = localization_accuracy(model, test_set)
@@ -195,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
             train_graphs=len(train_set),
             test_graphs=len(test_set),
             test_accuracy=round(test_acc, 4),
+            scenario=scenario.name,
         )
         telemetry.close()
     saved = model.save(
@@ -207,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
             "train_graphs": len(train_set),
             "test_graphs": len(test_set),
             "test_accuracy": round(test_acc, 4),
+            "scenario": scenario.name,
             "data_dir": str(args.data_dir) if args.data_dir is not None else None,
         },
     )

@@ -1,0 +1,118 @@
+"""Scenario registry + per-scenario contract-engine composition.
+
+The registry maps scenario names to :class:`Scenario` plugins with the same
+duplicate-rejecting semantics as the rule registries: two plugins claiming
+one name is a loud ``ValueError`` at registration time, never a silent
+shadow. The built-in five register in :mod:`m3d_fault_loc.scenarios`'s
+package init; external code adds more via :func:`register_scenario`.
+
+:func:`build_scenario_engine` composes the engine the serving gate runs for
+one scenario: the structural graph contract (M3D10x), the shared tag rule
+(M3D110, bound to the serving scenario), and the scenario's own payload
+rules (M3D11x).
+"""
+
+from __future__ import annotations
+
+from m3d_fault_loc.analysis.engine import RuleConfig, RuleEngine, default_engine
+from m3d_fault_loc.scenarios.base import Scenario
+from m3d_fault_loc.scenarios.rules import ScenarioTagRule
+
+#: The scenario ``/localize`` assumes when the request names none — the
+#: paper's original workload, served exactly as before the registry existed.
+DEFAULT_SCENARIO = "single_delay"
+
+
+class UnknownScenarioError(KeyError):
+    """A request named a scenario the registry does not know."""
+
+    def __init__(self, name: object, known: list[str]):
+        self.name = name
+        self.known = known
+        super().__init__(f"unknown scenario {name!r}; registered: {', '.join(known) or '(none)'}")
+
+
+class ScenarioRegistry:
+    """Duplicate-rejecting ``name -> Scenario`` registry."""
+
+    def __init__(self, scenarios: list[Scenario] | None = None):
+        self._scenarios: dict[str, Scenario] = {}
+        for scenario in scenarios or []:
+            self.register(scenario)
+
+    def register(self, scenario: Scenario) -> None:
+        name = getattr(scenario, "name", None)
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"scenario {scenario!r} has no string 'name' attribute")
+        existing = self._scenarios.get(name)
+        if existing is not None:
+            raise ValueError(
+                f"duplicate scenario name: {name} "
+                f"({type(existing).__name__} is already registered under it; "
+                f"refusing to shadow it with {type(scenario).__name__})"
+            )
+        self._scenarios[name] = scenario
+
+    def get(self, name: object) -> Scenario:
+        if isinstance(name, str):
+            scenario = self._scenarios.get(name)
+            if scenario is not None:
+                return scenario
+        raise UnknownScenarioError(name, self.names())
+
+    def names(self) -> list[str]:
+        return sorted(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    @property
+    def scenarios(self) -> list[Scenario]:
+        return [self._scenarios[name] for name in self.names()]
+
+
+#: The process-wide registry the serving stack and CLIs consult.
+_registry = ScenarioRegistry()
+
+
+def register_scenario(scenario: Scenario) -> None:
+    _registry.register(scenario)
+
+
+def get_scenario(name: object) -> Scenario:
+    """Look up a scenario; raises :class:`UnknownScenarioError` (→ HTTP 422)."""
+    return _registry.get(name)
+
+
+def scenario_names() -> list[str]:
+    return _registry.names()
+
+
+def registered_scenarios() -> list[Scenario]:
+    return _registry.scenarios
+
+
+def build_scenario_engine(
+    name: str,
+    base_engine: RuleEngine | None = None,
+    config: RuleConfig | None = None,
+) -> RuleEngine:
+    """The contract engine gating one scenario's payloads.
+
+    Composes ``base_engine`` (default: the structural M3D10x catalog) with
+    the tag rule bound to ``name`` and the scenario's own M3D11x rules.
+    ``base_engine`` must not itself be a scenario engine — re-registering
+    M3D110 is a loud duplicate-id error.
+    """
+    scenario = get_scenario(name)
+    base = base_engine if base_engine is not None else default_engine(config)
+    engine = RuleEngine(config=base.config)
+    for rule in base.rules:
+        engine.register(rule)
+    engine.register(ScenarioTagRule(expected=scenario.name))
+    for rule in scenario.contract_rules():
+        engine.register(rule)
+    return engine

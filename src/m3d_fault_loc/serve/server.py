@@ -3,11 +3,14 @@
 Endpoints:
 
 - ``POST /localize`` — body ``{"graph": <CircuitGraph JSON dict>,
-  "top_k": 5, "deadline_ms": 2000}`` (``deadline_ms`` optional, also
-  accepted as an ``X-M3D-Deadline-Ms`` header); ``200`` with the ranked
-  localization, ``400`` on malformed payloads, ``413`` when the body
-  exceeds the configured size limit, ``422`` with the m3dlint findings when
-  the contract gate rejects the graph, ``429`` (+ ``Retry-After``) when the
+  "top_k": 5, "scenario": "single_delay", "deadline_ms": 2000}``
+  (``scenario`` optional, default ``single_delay``; ``deadline_ms``
+  optional, also accepted as an ``X-M3D-Deadline-Ms`` header); ``200`` with
+  the ranked localization, ``400`` on malformed payloads, ``413`` when the
+  body exceeds the configured size limit, ``422`` with the m3dlint findings
+  when the scenario's contract gate rejects the graph **or** with the known
+  scenario list when ``scenario`` is unregistered, ``429``
+  (+ ``Retry-After``) when the
   admission queue sheds the request, ``503`` while the circuit breaker is
   open, the worker just crashed, or the service is draining, and ``504``
   when the request's deadline elapses.
@@ -46,6 +49,7 @@ from m3d_fault_loc.graph.schema import CircuitGraph
 from m3d_fault_loc.obs.context import current_trace_id, new_trace_id, sanitize_trace_id
 from m3d_fault_loc.obs.context import trace_context as _trace_context
 from m3d_fault_loc.obs.logging import get_logger
+from m3d_fault_loc.scenarios import UnknownScenarioError, scenario_names
 from m3d_fault_loc.serve.resilience import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -230,7 +234,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._parse_json_body(self._read_body())
-            graph, top_k = self._parse_localize_payload(payload)
+            graph, top_k, scenario = self._parse_localize_payload(payload)
             timeout_s = self._deadline_s(payload)
         except _PayloadTooLarge as exc:
             self._send_json(
@@ -250,7 +254,20 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         try:
-            result = self.server.service.localize(graph, top_k=top_k, timeout_s=timeout_s)
+            result = self.server.service.localize(
+                graph, top_k=top_k, timeout_s=timeout_s, scenario=scenario
+            )
+        except UnknownScenarioError as exc:
+            self._send_json(
+                422,
+                {
+                    "error": "unknown_scenario",
+                    "scenario": str(exc.name),
+                    "known": exc.known,
+                    "trace_id": trace_id,
+                },
+            )
+            return
         except GraphContractError as exc:
             self._send_json(
                 422,
@@ -335,15 +352,21 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     @staticmethod
-    def _parse_localize_payload(payload: dict[str, Any]) -> tuple[CircuitGraph, int]:
+    def _parse_localize_payload(payload: dict[str, Any]) -> tuple[CircuitGraph, int, str | None]:
         top_k = payload.get("top_k", DEFAULT_TOP_K)
         if not isinstance(top_k, int) or top_k < 1:
             raise _BadRequest(f'"top_k" must be a positive integer, got {top_k!r}')
+        scenario = payload.get("scenario")
+        if scenario is not None and (not isinstance(scenario, str) or not scenario):
+            raise _BadRequest(
+                f'"scenario" must be a non-empty string, got {scenario!r} '
+                f"(known: {', '.join(scenario_names())})"
+            )
         try:
             graph = CircuitGraph.from_json_dict(payload["graph"])
         except Exception as exc:
             raise _BadRequest(f"unreadable graph payload: {type(exc).__name__}: {exc}") from exc
-        return graph, top_k
+        return graph, top_k, scenario
 
 
 def create_server(

@@ -4,7 +4,13 @@ Request path: callers (one per HTTP connection thread) gate their graph
 through the m3dlint contract engine — ERROR findings raise
 :class:`~m3d_fault_loc.data.dataset.GraphContractError` and never reach the
 model — then look up the content-hash cache and, on a miss, enqueue the
-graph on a *bounded* thread-safe queue. A single worker thread drains the
+graph on a *bounded* thread-safe queue. Every request runs under a fault
+*scenario* (default ``single_delay``): the contract gate composes the
+structural rules with that scenario's M3D11x payload rules
+(:func:`~m3d_fault_loc.scenarios.build_scenario_engine`), results and
+cache keys are scenario-tagged, and per-scenario request/rejection counters
+land on ``/metrics``. An unknown scenario raises
+:class:`~m3d_fault_loc.scenarios.UnknownScenarioError` (→ HTTP 422). A single worker thread drains the
 queue into micro-batches (up to ``max_batch`` graphs or ``batch_window_s``
 of waiting, whichever first), runs one stacked ``node_scores_batch`` forward
 pass, and resolves the per-request futures.
@@ -45,6 +51,7 @@ import numpy as np
 
 from m3d_fault_loc.analysis.engine import RuleEngine, default_engine
 from m3d_fault_loc.data.dataset import GraphContractError, gate_graph
+from m3d_fault_loc.scenarios import DEFAULT_SCENARIO, build_scenario_engine, get_scenario
 from m3d_fault_loc.graph.schema import CircuitGraph
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
 from m3d_fault_loc.obs.context import current_trace_id, new_trace_id
@@ -87,6 +94,7 @@ class LocalizationResult:
     cached: bool = False
     latency_s: float = 0.0
     trace_id: str = ""
+    scenario: str = DEFAULT_SCENARIO
 
     def to_json_dict(self) -> dict[str, Any]:
         return {
@@ -99,6 +107,7 @@ class LocalizationResult:
             "cached": self.cached,
             "latency_ms": round(self.latency_s * 1e3, 3),
             "trace_id": self.trace_id,
+            "scenario": self.scenario,
         }
 
 
@@ -110,6 +119,7 @@ class _Pending:
     warnings: tuple[str, ...]
     deadline: Deadline
     trace_id: str = ""
+    scenario: str = DEFAULT_SCENARIO
     enqueued_at: float = 0.0
     future: Future = field(default_factory=Future)
 
@@ -172,6 +182,10 @@ class LocalizationService:
         self.stall_timeout_s = stall_timeout_s
         self.drain_deadline_s = drain_deadline_s
         self._engine = engine or default_engine()
+        #: Per-scenario contract engines, composed lazily from ``_engine``
+        #: (base structural rules + M3D110 tag rule + scenario M3D11x rules).
+        self._scenario_engines: dict[str, RuleEngine] = {}
+        self._scenario_lock = threading.Lock()
         self._cache = LRUResultCache(capacity=cache_size)
         self._queue: queue.Queue[_Pending | None] = queue.Queue(maxsize=max_queue)
         self._worker: threading.Thread | None = None
@@ -293,6 +307,29 @@ class LocalizationService:
         """One measured pipeline stage: feed the histogram and the trace."""
         histogram.observe(duration_s)
         self.tracer.record(trace_id, stage, duration_s, parent=parent, **meta)
+
+    # -- scenarios ---------------------------------------------------------
+
+    def _engine_for(self, scenario: str) -> RuleEngine:
+        """The contract engine gating ``scenario`` payloads, built once.
+
+        Raises :class:`~m3d_fault_loc.scenarios.UnknownScenarioError` for
+        unregistered names — the HTTP layer maps it to a structured 422.
+        """
+        engine = self._scenario_engines.get(scenario)
+        if engine is not None:
+            return engine
+        built = build_scenario_engine(scenario, base_engine=self._engine)
+        with self._scenario_lock:
+            return self._scenario_engines.setdefault(scenario, built)
+
+    def _count_scenario(self, scenario: str, outcome: str) -> None:
+        """Scenario-tagged counters (suffix-named: the metrics registry has
+        no label support, and registration by name is idempotent)."""
+        self.metrics.counter(
+            f"m3d_scenario_{outcome}_total_{scenario}",
+            f"localization {outcome} for scenario {scenario}",
+        ).inc()
 
     # -- model identity ----------------------------------------------------
 
@@ -466,16 +503,24 @@ class LocalizationService:
     # -- request path ------------------------------------------------------
 
     def localize(
-        self, graph: CircuitGraph, top_k: int = 5, timeout_s: float | None = None
+        self,
+        graph: CircuitGraph,
+        top_k: int = 5,
+        timeout_s: float | None = None,
+        scenario: str | None = None,
     ) -> LocalizationResult:
         """Gate, cache-check, and (on a miss) batch one graph through the model.
 
         ``timeout_s`` is this request's deadline (defaults to the service's
         ``request_timeout_s``); it bounds queue wait *and* is honored by the
         worker, which drops expired requests instead of scoring them.
+        ``scenario`` selects the fault scenario whose contract rules gate the
+        payload (default ``single_delay`` — the pre-scenario behavior).
 
         Raises :class:`~m3d_fault_loc.data.dataset.GraphContractError` on
-        contract violations, :class:`LoadSheddedError` when the admission
+        contract violations,
+        :class:`~m3d_fault_loc.scenarios.UnknownScenarioError` for an
+        unregistered scenario, :class:`LoadSheddedError` when the admission
         queue is full, :class:`CircuitOpenError` while the breaker is open,
         and :class:`DeadlineExceededError` past the deadline — each a
         structured rejection rather than a hang or a wrong answer.
@@ -486,13 +531,19 @@ class LocalizationService:
             raise RuntimeError("service is closed")
         if self._draining:
             raise ServiceDrainingError("draining")
+        scenario_name = get_scenario(scenario or DEFAULT_SCENARIO).name
         self.start()
         started = time.perf_counter()
         deadline = Deadline.after(timeout_s if timeout_s is not None else self.request_timeout_s)
         trace_id = current_trace_id() or new_trace_id()
         self.m_requests.inc()
-        with self.tracer.trace("localize", trace_id=trace_id, graph=graph.name):
-            return self._localize_traced(graph, top_k, deadline, started, trace_id)
+        self._count_scenario(scenario_name, "requests")
+        with self.tracer.trace(
+            "localize", trace_id=trace_id, graph=graph.name, scenario=scenario_name
+        ):
+            return self._localize_traced(
+                graph, top_k, deadline, started, trace_id, scenario_name
+            )
 
     def _localize_traced(
         self,
@@ -501,6 +552,7 @@ class LocalizationService:
         deadline: Deadline,
         started: float,
         trace_id: str,
+        scenario: str,
     ) -> LocalizationResult:
         """The traced request body: every stage lands in a span + histogram.
 
@@ -512,23 +564,33 @@ class LocalizationService:
         await went.
         """
         t0 = time.perf_counter()
+        engine = self._engine_for(scenario)
         try:
-            warnings = gate_graph(graph, self._engine)
+            warnings = gate_graph(graph, engine)
         except GraphContractError:
             self.m_rejections.inc()
+            self._count_scenario(scenario, "rejections")
             self._observe_stage(
-                "contract_gate", self.m_stage_contract, trace_id, time.perf_counter() - t0
+                "contract_gate",
+                self.m_stage_contract,
+                trace_id,
+                time.perf_counter() - t0,
+                scenario=scenario,
             )
             raise
         self._observe_stage(
-            "contract_gate", self.m_stage_contract, trace_id, time.perf_counter() - t0
+            "contract_gate",
+            self.m_stage_contract,
+            trace_id,
+            time.perf_counter() - t0,
+            scenario=scenario,
         )
 
         t0 = time.perf_counter()
         self._maybe_reload()
         digest = graph_digest(graph)
         _, _, prefix = self._model_state
-        key = f"{prefix}:{top_k}:{digest}"
+        key = f"{prefix}:{scenario}:{top_k}:{digest}"
         hit = self._cache.get(key)
         self._observe_stage(
             "cache_lookup",
@@ -554,6 +616,7 @@ class LocalizationService:
             warnings=tuple(v.render() for v in warnings),
             deadline=deadline,
             trace_id=trace_id,
+            scenario=scenario,
         )
         pending.enqueued_at = time.perf_counter()
         try:
@@ -684,7 +747,7 @@ class LocalizationService:
         self.m_graphs.inc(len(batch))
         for p, scores in zip(batch, scores_per_graph, strict=True):
             result = self._build_result(p, scores, info)
-            self._cache.put(f"{prefix}:{p.top_k}:{p.digest}", result)
+            self._cache.put(f"{prefix}:{p.scenario}:{p.top_k}:{p.digest}", result)
             p.complete(result)
 
     # -- supervision -------------------------------------------------------
@@ -782,4 +845,5 @@ class LocalizationService:
             top=top,
             warnings=pending.warnings,
             trace_id=pending.trace_id,
+            scenario=pending.scenario,
         )

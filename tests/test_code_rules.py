@@ -369,3 +369,86 @@ def test_bench_baseline_suppression_keeps_own_sources_clean():
     for source_file in sorted(src_root.rglob("*.py")):
         violations = lint_source(source_file.read_text(), source_file)
         assert not [v for v in violations if v.rule_id == "M3D208"], source_file
+
+
+# -- M3D209 scenario RNG discipline ----------------------------------------
+
+
+def test_global_stream_draw_warns_outside_generators():
+    src = (
+        "import numpy as np\n"
+        "def jitter(x):\n"
+        "    return x + np.random.uniform(0.0, 1.0)\n"
+    )
+    (finding,) = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D209"]
+    assert finding.severity is Severity.WARNING
+    assert "ScenarioSpec.rng()" in finding.message
+
+
+def test_global_stream_draw_is_error_inside_scenarios_and_data():
+    src = (
+        "import numpy as np\n"
+        "def generate(spec):\n"
+        "    return np.random.normal(size=3)\n"
+    )
+    for tree in ("scenarios", "data"):
+        strict_path = Path(f"src/m3d_fault_loc/{tree}/gen.py")
+        (finding,) = [v for v in lint_source(src, strict_path) if v.rule_id == "M3D209"]
+        assert finding.severity is Severity.ERROR, tree
+
+
+def test_unseeded_default_rng_flagged_seeded_clean():
+    unseeded = (
+        "import numpy as np\n"
+        "def generate():\n"
+        "    return np.random.default_rng().uniform()\n"
+    )
+    unseeded_import = (
+        "from numpy.random import default_rng\n"
+        "def generate():\n"
+        "    return default_rng().uniform()\n"
+    )
+    seeded = (
+        "import numpy as np\n"
+        "def generate(seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return rng.uniform(0.0, 1.0)\n"
+    )
+    assert "M3D209" in fired(unseeded)
+    assert "M3D209" in fired(unseeded_import)
+    assert "M3D209" not in fired(seeded)
+
+
+def test_threaded_generator_draws_are_clean():
+    src = (
+        "def generate(spec):\n"
+        "    rng = spec.rng()\n"
+        "    return rng.binomial(16, rng.uniform(0.2, 0.9))\n"
+    )
+    assert "M3D209" not in fired(src, Path("src/m3d_fault_loc/scenarios/gen.py"))
+
+
+def test_np_random_seed_is_m3d203s_finding_not_m3d209s():
+    src = "import numpy as np\nnp.random.seed(0)\n"
+    rule_ids = fired(src)
+    assert "M3D203" in rule_ids
+    findings = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D209"]
+    assert findings == []
+
+
+def test_blessed_seed_module_exempt_from_m3d209():
+    src = (
+        "import numpy as np\n"
+        "def seed_everything(seed):\n"
+        "    np.random.seed(seed)\n"
+        "    return np.random.default_rng(seed)\n"
+    )
+    assert "M3D209" not in fired(src, Path("src/m3d_fault_loc/utils/seed.py"))
+
+
+def test_scenario_and_data_sources_pass_rng_discipline():
+    src_root = Path(__file__).resolve().parents[1] / "src" / "m3d_fault_loc"
+    for tree in ("scenarios", "data"):
+        for source_file in sorted((src_root / tree).rglob("*.py")):
+            violations = lint_source(source_file.read_text(), source_file)
+            assert not [v for v in violations if v.rule_id == "M3D209"], source_file

@@ -1,0 +1,225 @@
+"""Scenario platform: registry, determinism, legacy equivalence, M3D11x rules.
+
+The two load-bearing guarantees are byte-level: the same spec + seed must
+regenerate an identical dataset (scenario datasets are cached and shared by
+digest), and ``single_delay`` through the registry must be byte-identical to
+the legacy injector (pre-platform datasets and golden responses stay valid).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from m3d_fault_loc.data.dataset import CircuitGraphDataset
+from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
+from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+from m3d_fault_loc.scenarios import (
+    DEFAULT_SCENARIO,
+    ScenarioRegistry,
+    ScenarioSpec,
+    UnknownScenarioError,
+    build_scenario_engine,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+SPEC = ScenarioSpec(n_graphs=4, n_gates=14, n_inputs=3, num_tiers=2, seed=77)
+
+ALL_SCENARIOS = sorted(scenario_names())
+
+
+def canonical(graphs):
+    return [json.dumps(g.to_json_dict(), sort_keys=True) for g in graphs]
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_five_builtin_scenarios_registered():
+    assert ALL_SCENARIOS == [
+        "aging_drift",
+        "intermittent_delay",
+        "multi_delay",
+        "seu_bitflip",
+        "single_delay",
+    ]
+    assert DEFAULT_SCENARIO == "single_delay"
+
+
+def test_unknown_scenario_raises_with_known_list():
+    with pytest.raises(UnknownScenarioError) as exc:
+        get_scenario("stuck_at_zero")
+    assert exc.value.name == "stuck_at_zero"
+    assert exc.value.known == ALL_SCENARIOS
+
+
+def test_registry_rejects_duplicate_names():
+    registry = ScenarioRegistry()
+    registry.register(get_scenario("single_delay"))
+    with pytest.raises(ValueError, match="single_delay"):
+        registry.register(get_scenario("single_delay"))
+
+
+def test_register_scenario_rejects_global_duplicate():
+    with pytest.raises(ValueError):
+        register_scenario(get_scenario("multi_delay"))
+
+
+# ------------------------------------------------------------- determinism
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_same_spec_same_seed_is_byte_identical(name):
+    scenario = get_scenario(name)
+    assert canonical(scenario.generate(SPEC)) == canonical(scenario.generate(SPEC))
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_different_seed_differs(name):
+    scenario = get_scenario(name)
+    other = ScenarioSpec(
+        n_graphs=SPEC.n_graphs, n_gates=SPEC.n_gates, n_inputs=SPEC.n_inputs,
+        num_tiers=SPEC.num_tiers, seed=SPEC.seed + 1,
+    )
+    assert canonical(scenario.generate(SPEC)) != canonical(scenario.generate(other))
+
+
+def test_single_delay_matches_legacy_injector_exactly():
+    via_registry = get_scenario("single_delay").generate(SPEC)
+    legacy = synthesize_fault_dataset(
+        np.random.default_rng(SPEC.seed),
+        n_graphs=SPEC.n_graphs,
+        n_gates=SPEC.n_gates,
+        n_inputs=SPEC.n_inputs,
+        num_tiers=SPEC.num_tiers,
+    )
+    assert canonical(via_registry) == canonical(legacy)
+    # No scenario tag: pre-platform consumers see the dataset unchanged.
+    assert all("scenario" not in g.meta for g in via_registry)
+
+
+# ------------------------------------------------------- contract gating
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_generated_datasets_gate_clean_under_own_engine(name):
+    scenario = get_scenario(name)
+    engine = build_scenario_engine(name)
+    for graph in scenario.generate(SPEC):
+        assert engine.run(graph) == []
+
+
+def test_tagged_graph_under_wrong_engine_fails_m3d110():
+    graph = get_scenario("seu_bitflip").generate(SPEC)[0]
+    violations = build_scenario_engine("aging_drift").run(graph)
+    assert "M3D110" in {v.rule_id for v in violations}
+
+
+def test_untagged_graph_serves_under_any_scenario():
+    graph = get_scenario("single_delay").generate(SPEC)[0]
+    for name in ALL_SCENARIOS:
+        assert build_scenario_engine(name).run(graph) == []
+
+
+def test_multi_delay_missing_fault_set_fails_m3d112():
+    graph = get_scenario("multi_delay").generate(SPEC)[0]
+    del graph.meta["faults"]
+    violations = build_scenario_engine("multi_delay").run(graph)
+    assert "M3D112" in {v.rule_id for v in violations}
+
+
+def test_multi_delay_label_outside_fault_set_fails_m3d112():
+    graph = get_scenario("multi_delay").generate(SPEC)[0]
+    graph.meta["faults"] = [
+        f for f in graph.meta["faults"]
+        if graph.node_names.index(f["gate"]) != graph.fault_index
+    ] or [{"gate": graph.node_names[0], "extra_delay": 1.0}]
+    violations = build_scenario_engine("multi_delay").run(graph)
+    assert "M3D112" in {v.rule_id for v in violations}
+
+
+def test_single_delay_rejects_multi_fault_payload_m3d111():
+    graph = get_scenario("multi_delay").generate(SPEC)[0]
+    graph.meta["scenario"] = "single_delay"
+    violations = build_scenario_engine("single_delay").run(graph)
+    assert "M3D111" in {v.rule_id for v in violations}
+
+
+def test_intermittent_bad_activation_prob_fails_m3d113():
+    graph = get_scenario("intermittent_delay").generate(SPEC)[0]
+    graph.meta["fault"]["activation_prob"] = 1.5
+    violations = build_scenario_engine("intermittent_delay").run(graph)
+    assert "M3D113" in {v.rule_id for v in violations}
+
+
+def test_seu_mask_length_mismatch_fails_m3d114():
+    graph = get_scenario("seu_bitflip").generate(SPEC)[0]
+    graph.meta["seu"]["transient_mask"] = graph.meta["seu"]["transient_mask"][:-1]
+    violations = build_scenario_engine("seu_bitflip").run(graph)
+    assert "M3D114" in {v.rule_id for v in violations}
+
+
+def test_seu_flip_site_must_be_masked_m3d114():
+    graph = get_scenario("seu_bitflip").generate(SPEC)[0]
+    graph.meta["seu"]["transient_mask"] = [0] * graph.num_nodes
+    violations = build_scenario_engine("seu_bitflip").run(graph)
+    assert "M3D114" in {v.rule_id for v in violations}
+
+
+def test_aging_negative_drift_fails_m3d115():
+    graph = get_scenario("aging_drift").generate(SPEC)[0]
+    graph.meta["aging"]["drift"][0] = -0.1
+    violations = build_scenario_engine("aging_drift").run(graph)
+    assert "M3D115" in {v.rule_id for v in violations}
+
+
+def test_aging_label_off_peak_fails_m3d115():
+    graph = get_scenario("aging_drift").generate(SPEC)[0]
+    drift = graph.meta["aging"]["drift"]
+    drift[graph.fault_index] = 0.0
+    violations = build_scenario_engine("aging_drift").run(graph)
+    assert "M3D115" in {v.rule_id for v in violations}
+
+
+# ------------------------------------------------------------ eval metrics
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_evaluate_returns_bounded_metrics(name):
+    scenario = get_scenario(name)
+    graphs = scenario.generate(SPEC)
+    model = DelayFaultLocalizer(hidden=8, seed=1)
+    metrics = scenario.evaluate(model, graphs, k=3)
+    assert metrics, f"{name} returned no metrics"
+    for key, value in metrics.items():
+        assert isinstance(value, float)
+        assert np.isfinite(value), f"{name}.{key} is not finite"
+        if key != "pearson_r":  # correlation legitimately spans [-1, 1]
+            assert 0.0 <= value <= 1.0 or key == "drift_mae", (name, key, value)
+
+
+def test_perfect_model_hits_multi_delay_fault_set():
+    scenario = get_scenario("multi_delay")
+    graphs = scenario.generate(SPEC)
+
+    class Oracle:
+        def node_scores(self, graph, digest=None):
+            scores = np.zeros(graph.num_nodes)
+            names = list(graph.node_names)
+            for fault in graph.meta["faults"]:
+                scores[names.index(fault["gate"])] = 1.0
+            return scores
+
+    metrics = scenario.evaluate(Oracle(), graphs, k=4)
+    assert metrics["coverage_at_k"] == 1.0
+    assert metrics["hit_all_at_k"] == 1.0
+
+
+def test_scenario_datasets_load_into_dataset_with_scenario_engine():
+    graphs = get_scenario("aging_drift").generate(SPEC)
+    dataset = CircuitGraphDataset.from_graphs(
+        graphs, engine=build_scenario_engine("aging_drift")
+    )
+    assert len(dataset) == SPEC.n_graphs
