@@ -26,7 +26,11 @@ code rather than general style (which ruff covers):
 - **M3D209** draws from the process-global numpy stream (``np.random.*``)
   or unseeded ``default_rng()`` (escalated to ERROR inside scenario and
   dataset generators, whose whole contract is byte-identical regeneration
-  from a spec'd seed).
+  from a spec'd seed),
+- **M3D210** socket/HTTP client constructions without an explicit
+  ``timeout`` (escalated to ERROR inside the serving layer: the router and
+  health prober must never block forever on a dead replica — an unbounded
+  connect turns one sick backend into a hung router thread).
 """
 
 from __future__ import annotations
@@ -577,6 +581,107 @@ class ScenarioRngDisciplineRule(CodeRule):
         return aliases
 
 
+class MissingClientTimeoutRule(CodeRule):
+    """A network client call without an explicit ``timeout`` inherits the
+    global socket default — usually *no* timeout — so one dead peer parks
+    the calling thread forever. In the serving layer that is how a single
+    unreachable replica wedges the router (or its health prober), which is
+    why the finding escalates from WARNING to ERROR inside ``serve/``
+    sources. Pass ``timeout=`` (or the documented positional slot) on every
+    ``HTTPConnection``/``HTTPSConnection``, ``socket.create_connection``,
+    and ``urllib.request.urlopen`` call."""
+
+    id = "M3D210"
+    severity = Severity.WARNING
+    description = (
+        "socket/HTTP client calls must pass an explicit timeout "
+        "(ERROR inside serve/ code)"
+    )
+
+    #: Canonical dotted call target → index of the positional slot that can
+    #: carry the timeout (``HTTPConnection(host, port, timeout)`` etc.).
+    _TARGETS: dict[tuple[str, ...], int] = {
+        ("http", "client", "HTTPConnection"): 2,
+        ("http", "client", "HTTPSConnection"): 2,
+        ("socket", "create_connection"): 1,
+        ("urllib", "request", "urlopen"): 2,
+    }
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        in_serve = "serve" in path.parts
+        severity = Severity.ERROR if in_serve else Severity.WARNING
+        where = " inside serving code" if in_serve else ""
+        module_aliases = self._module_aliases(tree)
+        name_aliases = self._from_import_aliases(tree)
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._resolve(node.func, module_aliases, name_aliases)
+            if target is None:
+                continue
+            timeout_pos = self._TARGETS[target]
+            explicit_kw = any(kw.arg == "timeout" or kw.arg is None for kw in node.keywords)
+            explicit_pos = len(node.args) > timeout_pos
+            if explicit_kw or explicit_pos:
+                continue
+            pretty = ".".join(target)
+            findings.append(
+                self.violation(
+                    f"{pretty}() without an explicit timeout{where} blocks "
+                    "forever on a dead peer; pass timeout= so the failure is "
+                    "a bounded error, not a hung thread",
+                    path,
+                    node.lineno,
+                    severity,
+                )
+            )
+        return findings
+
+    def _resolve(
+        self,
+        func: ast.AST,
+        module_aliases: dict[str, tuple[str, ...]],
+        name_aliases: dict[str, tuple[str, ...]],
+    ) -> tuple[str, ...] | None:
+        """Canonical target for a call expression, alias-aware; else None."""
+        dotted = _dotted_name(func)
+        if not dotted:
+            return None
+        if len(dotted) == 1:
+            target = name_aliases.get(dotted[0])
+            return target if target in self._TARGETS else None
+        expanded = module_aliases.get(dotted[0], (dotted[0],)) + dotted[1:]
+        return expanded if expanded in self._TARGETS else None
+
+    @staticmethod
+    def _module_aliases(tree: ast.Module) -> dict[str, tuple[str, ...]]:
+        """``import http.client as hc`` → ``{"hc": ("http", "client")}``."""
+        aliases: dict[str, tuple[str, ...]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    local = a.asname or a.name.split(".")[0]
+                    canonical = tuple(a.name.split(".")) if a.asname else (local,)
+                    aliases[local] = canonical
+        return aliases
+
+    def _from_import_aliases(self, tree: ast.Module) -> dict[str, tuple[str, ...]]:
+        """``from socket import create_connection as cc`` → canonical path."""
+        by_module: dict[str, list[tuple[str, ...]]] = {}
+        for target in self._TARGETS:
+            by_module.setdefault(".".join(target[:-1]), []).append(target)
+        aliases: dict[str, tuple[str, ...]] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom) or node.module not in by_module:
+                continue
+            for target in by_module[node.module]:
+                for a in node.names:
+                    if a.name == target[-1]:
+                        aliases[a.asname or a.name] = target
+        return aliases
+
+
 #: Full built-in catalog, in rule-id order.
 BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     MixedDeviceTransferRule,
@@ -588,6 +693,7 @@ BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     UnstructuredOutputRule,
     SparseBlockDiagRule,
     ScenarioRngDisciplineRule,
+    MissingClientTimeoutRule,
 )
 
 

@@ -45,6 +45,7 @@ class BenchContext:
     batch_size: int = 16
     concurrency: int = 4
     requests_per_client: int = 8
+    pool_workers: int = 4
 
     def make_model(self) -> DelayFaultLocalizer:
         return DelayFaultLocalizer(
@@ -207,6 +208,53 @@ def _case_e2e_localize(workload: Workload, ctx: BenchContext) -> PreparedCase:
     return fn, meta, cleanup
 
 
+def _case_e2e_localize_pool(workload: Workload, ctx: BenchContext) -> PreparedCase:
+    """The ``e2e_localize`` pipeline against a ``pool_workers``-wide sharded
+    worker pool under doubled client concurrency — the scale-out data point.
+    Same defeated result cache, same micro-batcher; the only variable is N
+    digest-sharded workers draining the admission queues in parallel, so
+    the trajectory shows what the pool buys over the 1-worker topology."""
+    service = LocalizationService(
+        model=ctx.make_model(),
+        cache_size=1,
+        max_batch=ctx.batch_size,
+        batch_window_s=0.002,
+        max_queue=4096,
+        request_timeout_s=120.0,
+        watchdog_interval_s=None,
+        num_workers=ctx.pool_workers,
+    )
+    service.start()
+    clients = ctx.concurrency * 2
+    pool = ThreadPoolExecutor(max_workers=clients, thread_name_prefix="bench-pool-client")
+    graphs = workload.graphs
+    per_client = ctx.requests_per_client
+
+    def client(offset: int) -> int:
+        done = 0
+        for i in range(per_client):
+            graph = graphs[(offset + i) % len(graphs)]
+            service.localize(graph, top_k=3)
+            done += 1
+        return done
+
+    def fn() -> int:
+        futures = [pool.submit(client, i * per_client) for i in range(clients)]
+        return sum(f.result() for f in futures)
+
+    def cleanup() -> None:
+        pool.shutdown(wait=True)
+        service.close()
+
+    meta = {
+        "requests_per_call": clients * per_client,
+        "concurrency": clients,
+        "pool_workers": ctx.pool_workers,
+        "result_cache": "defeated (capacity=1)",
+    }
+    return fn, meta, cleanup
+
+
 def _case_scenario_generate(workload: Workload, ctx: BenchContext) -> PreparedCase:
     """One tiny seeded dataset per registered scenario per call — measures the
     scenario generators themselves (netlist synthesis + fault payload
@@ -271,6 +319,7 @@ CASES: dict[str, Callable[[Workload, BenchContext], PreparedCase]] = {
     "train_epoch": _case_train_epoch,
     "scenario_generate": _case_scenario_generate,
     "e2e_localize": _case_e2e_localize,
+    "e2e_localize_pool": _case_e2e_localize_pool,
 }
 
 CASE_DESCRIPTIONS: dict[str, str] = {
@@ -284,4 +333,5 @@ CASE_DESCRIPTIONS: dict[str, str] = {
     "train_epoch": "one m3d-train epoch: loss_and_grads + Adam over the workload",
     "scenario_generate": "tiny seeded dataset from every registered scenario generator",
     "e2e_localize": "end-to-end localize() under concurrent client threads",
+    "e2e_localize_pool": "e2e localize() against the sharded 4-worker pool, 2x clients",
 }

@@ -1,0 +1,147 @@
+"""Front multiple ``m3d-serve`` replicas with a consistent-hash router.
+
+Usage::
+
+    PYTHONPATH=src python -m m3d_fault_loc.cli.route \\
+        --replica 127.0.0.1:8361 --replica 127.0.0.1:8362 --port 8360
+
+Requests are routed by payload hash (repeat graphs hit the replica whose
+caches already hold them); a failed replica is retried on the next in
+preference order under the idempotency and deadline rules documented in
+:mod:`m3d_fault_loc.serve.router`, ejected after consecutive failures, and
+readmitted through a half-open health probe. Router-own endpoints live
+under ``/router/`` (``/router/healthz``, ``/router/metrics``); everything
+else is proxied.
+
+``SIGTERM``/``SIGINT`` starts the drain cascade's front half: admission
+stops (new requests get a structured 503), the accept loop stops, in-flight
+proxied requests finish within ``--drain-deadline-s``, and the process
+exits 0. The replicas behind it drain the same way on their own SIGTERM —
+drain the router first, then the replicas, and no client sees a dropped
+connection.
+
+``--port 0`` binds an ephemeral port; the chosen address is printed as
+``routing on http://host:port`` so harnesses can parse it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from types import FrameType
+
+from m3d_fault_loc.obs.logging import configure_json_logging
+from m3d_fault_loc.serve.resilience import ExponentialBackoff
+from m3d_fault_loc.serve.router import (
+    ReplicaRouter,
+    RouterHTTPServer,
+    RouterPolicy,
+    create_router_server,
+    parse_replica_spec,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replica", action="append", required=True, metavar="HOST:PORT",
+                        help="backend m3d-serve address (repeat per replica)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8360,
+                        help="TCP port (0 binds an ephemeral port)")
+    parser.add_argument("--attempt-timeout-s", type=float, default=30.0,
+                        help="per-attempt socket timeout against a replica")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts across the failover preference list")
+    parser.add_argument("--eject-after", type=int, default=3,
+                        help="consecutive failures before a replica is ejected")
+    parser.add_argument("--cooldown-s", type=float, default=2.0,
+                        help="ejection cooldown before the half-open trial")
+    parser.add_argument("--probe-interval-s", type=float, default=0.5,
+                        help="health-probe cadence (0 disables the prober)")
+    parser.add_argument("--probe-timeout-s", type=float, default=2.0,
+                        help="socket timeout per health probe")
+    parser.add_argument("--default-deadline-s", type=float, default=30.0,
+                        help="deadline for requests without X-M3D-Deadline-Ms")
+    parser.add_argument("--drain-deadline-s", type=float, default=10.0,
+                        help="graceful-shutdown drain budget on SIGTERM/SIGINT")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured-log threshold (JSON lines on stderr)")
+    return parser
+
+
+def build_router(args: argparse.Namespace) -> ReplicaRouter:
+    replicas = [parse_replica_spec(spec) for spec in args.replica]
+    policy = RouterPolicy(
+        attempt_timeout_s=args.attempt_timeout_s,
+        max_attempts=args.max_attempts,
+        eject_after=args.eject_after,
+        cooldown_s=args.cooldown_s,
+        probe_interval_s=args.probe_interval_s if args.probe_interval_s > 0 else None,
+        probe_timeout_s=args.probe_timeout_s,
+        backoff=ExponentialBackoff(base_s=0.02, max_s=0.5),
+        default_deadline_s=args.default_deadline_s,
+    )
+    return ReplicaRouter(replicas, policy=policy)
+
+
+def drain_and_stop(
+    server: RouterHTTPServer, router: ReplicaRouter, drain_deadline_s: float
+) -> None:
+    """Front half of the drain cascade: admission off, then in-flight out."""
+    router.begin_drain()
+    server.shutdown()
+    router.await_drain(drain_deadline_s)
+    router.close()
+
+
+def install_signal_handlers(
+    server: RouterHTTPServer, router: ReplicaRouter, drain_deadline_s: float
+) -> None:
+    """Route SIGTERM/SIGINT into one graceful drain (idempotent)."""
+    # m3dlint: disable=M3D303 reason=one-shot process-lifetime latch, installed once
+    triggered = threading.Event()
+
+    def handle(signum: int, frame: FrameType | None) -> None:
+        if triggered.is_set():
+            return
+        triggered.set()
+        print(f"received signal {signum}; draining...", flush=True)
+        threading.Thread(
+            target=drain_and_stop,
+            args=(server, router, drain_deadline_s),
+            name="m3d-route-drain",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, handle)
+    signal.signal(signal.SIGINT, handle)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_json_logging(stream=sys.stderr, level=args.log_level.upper())
+    try:
+        router = build_router(args)
+    except ValueError as exc:
+        print(f"bad replica spec: {exc}", file=sys.stderr)
+        return 2
+    server = create_router_server(router, host=args.host, port=args.port)
+    install_signal_handlers(server, router, args.drain_deadline_s)
+    print(f"replicas: {', '.join(r.key for r in router.replicas)}", flush=True)
+    print(f"routing on http://{args.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        drain_and_stop(server, router, args.drain_deadline_s)
+    finally:
+        server.server_close()
+        router.close()
+    print("drained; exiting", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

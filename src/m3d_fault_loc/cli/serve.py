@@ -57,6 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result-cache capacity (content-hash LRU entries)")
     parser.add_argument("--max-queue", type=int, default=256,
                         help="admission queue bound; beyond it requests are shed (429)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="batch workers in the pool (digest-sharded; 1 = single worker)")
     parser.add_argument("--request-timeout-s", type=float, default=30.0,
                         help="default per-request deadline (504 past it)")
     parser.add_argument("--max-body-bytes", type=int, default=DEFAULT_MAX_BODY_BYTES,
@@ -141,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
                 request_timeout_s=args.request_timeout_s,
                 drain_deadline_s=args.drain_deadline_s,
                 tracer=tracer,
+                num_workers=args.workers,
             )
         else:
             service = LocalizationService(
@@ -152,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
                 request_timeout_s=args.request_timeout_s,
                 drain_deadline_s=args.drain_deadline_s,
                 tracer=tracer,
+                num_workers=args.workers,
             )
     except ModelRegistryError as exc:
         print(f"registry error: {exc}", file=sys.stderr)

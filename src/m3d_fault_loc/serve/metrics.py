@@ -70,6 +70,14 @@ class Gauge:
         with self._lock:
             self._value = float(value)
 
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
     @property
     def value(self) -> float:
         with self._lock:

@@ -25,6 +25,7 @@ lock-protected state machines that the service wires together.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections.abc import Callable, Iterator
@@ -41,6 +42,7 @@ __all__ = [
     "ResilienceError",
     "ServiceDrainingError",
     "WorkerCrashedError",
+    "jittered",
     "retry_with_backoff",
 ]
 
@@ -351,6 +353,27 @@ class HealthMonitor:
 
 
 # -- backoff + retry -------------------------------------------------------
+
+#: Process-wide jitter source. Deliberately unseeded: jitter exists to
+#: de-synchronize *different* clients, so reproducibility would defeat it.
+#: Retry *schedules* (ExponentialBackoff) stay deterministic; only advertised
+#: retry *hints* are jittered.
+_JITTER_RNG = random.Random()
+
+
+def jittered(value_s: float, fraction: float = 0.2, rng: random.Random | None = None) -> float:
+    """``value_s`` spread uniformly over ``±fraction`` (default ±20 %).
+
+    Applied to ``Retry-After`` hints on 429/503 responses so a burst of shed
+    clients does not stampede back in lockstep at the same instant. Callers
+    asserting behavior should test the bounds, never the exact value.
+    """
+    if value_s < 0:
+        raise ValueError(f"value_s must be >= 0, got {value_s}")
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    source = _JITTER_RNG if rng is None else rng
+    return value_s * (1.0 + fraction * (2.0 * source.random() - 1.0))
 
 
 class ExponentialBackoff:

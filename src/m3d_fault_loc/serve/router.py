@@ -1,0 +1,688 @@
+"""Replica tier: consistent-hash router over multiple ``m3d-serve`` processes.
+
+One process can only scale so far; the replica tier fronts N independent
+``m3d-serve`` replicas with a stdlib-only HTTP router (``m3d-route`` CLI):
+
+- **Consistent-hash routing.** Requests are placed on a vnode hash ring
+  keyed by the request body's sha256 (path for bodyless requests), so a
+  repeat ``/localize`` payload lands on the same replica — its result LRU
+  and aggregation-operator cache stay hot — and adding or removing a
+  replica remaps only ~1/N of the keyspace. The ring's walk order doubles
+  as the **failover preference list**.
+- **Health-aware ejection.** Each replica runs a small state machine:
+  ``up`` → (``eject_after`` consecutive failures) → ``ejected`` for a
+  cooldown → ``half-open`` (exactly one trial request or probe) → ``up``
+  on success, re-ejected on failure. A background prober GETs each
+  replica's ``/healthz`` (always with a timeout — see m3dlint M3D210) so
+  recovered replicas are readmitted without waiting for live traffic to
+  gamble on them.
+- **Bounded retry-with-backoff failover.** Connect-phase errors are always
+  retried on the next replica in preference order (nothing was sent);
+  post-send errors and retryable 5xx (500/502/503) fail over **only for
+  idempotent requests** — ``GET``/``HEAD`` and ``POST /localize``, which is
+  a pure function of its payload. A request past its deadline
+  (``X-M3D-Deadline-Ms``) is *never* retried, and a replica's 504 is
+  returned as-is: the deadline that expired there has expired here too.
+  Retries are capped (``max_attempts``) and spaced by jittered exponential
+  backoff so a sick pool is not hammered in lockstep.
+- **Graceful drain cascade.** On SIGTERM the router stops admission first
+  (new requests get a structured 503 ``draining``), finishes its in-flight
+  proxied requests within a deadline, and exits 0 — the front half of the
+  rolling-restart contract; each replica then drains the same way on its
+  own SIGTERM.
+
+The router never parses proxied bodies and holds no model state: it can be
+restarted at will, and everything it knows shows up on
+``GET /router/healthz`` and ``GET /router/metrics``. Every outbound
+connection carries an explicit timeout — a dead replica must cost a bounded
+attempt, never a hung router thread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlparse
+
+from m3d_fault_loc.obs.context import current_trace_id, new_trace_id, sanitize_trace_id
+from m3d_fault_loc.obs.context import trace_context as _trace_context
+from m3d_fault_loc.obs.logging import get_logger
+from m3d_fault_loc.serve.metrics import MetricsRegistry
+from m3d_fault_loc.serve.resilience import Deadline, ExponentialBackoff, jittered
+from m3d_fault_loc.serve.server import TRACE_HEADER
+
+log = get_logger(__name__)
+
+#: Replica state machine values.
+REPLICA_UP = "up"
+REPLICA_EJECTED = "ejected"
+REPLICA_HALF_OPEN = "half-open"
+
+#: Response header naming the replica that produced the response.
+REPLICA_HEADER = "X-M3D-Replica"
+#: Response header counting the attempts the router spent on the request.
+ATTEMPTS_HEADER = "X-M3D-Attempts"
+#: Request header carrying the client deadline budget in milliseconds.
+DEADLINE_HEADER = "X-M3D-Deadline-Ms"
+
+#: Replica 5xx statuses worth failing over (another replica may serve the
+#: key). 504 is deliberately absent: the request's own deadline expired.
+_FAILOVER_STATUSES = frozenset({500, 502, 503})
+
+#: POST paths that are pure functions of their payload and therefore safe
+#: to replay on a sibling after an ambiguous post-send failure.
+_IDEMPOTENT_POSTS = frozenset({"/localize"})
+
+#: Request headers the router forwards downstream verbatim.
+_FORWARD_REQUEST_HEADERS = ("Content-Type", TRACE_HEADER)
+#: Replica response headers the router relays back to the client.
+_RELAY_RESPONSE_HEADERS = ("Content-Type", TRACE_HEADER, "Retry-After")
+
+
+def parse_replica_spec(spec: str) -> tuple[str, int]:
+    """``host:port`` → ``(host, port)``; raises ``ValueError`` otherwise."""
+    host, sep, port_s = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"replica spec must be host:port, got {spec!r}")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"replica spec must be host:port, got {spec!r}") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"replica port out of range in {spec!r}")
+    return host, port
+
+
+class Replica:
+    """One backend's identity plus its ejection state machine.
+
+    Transitions (guarded by one lock, all O(1)):
+
+    - ``up`` --eject_after consecutive failures--> ``ejected``
+    - ``ejected`` --cooldown elapsed--> ``half-open`` (lazily, at the next
+      admission or probe decision)
+    - ``half-open`` --single trial succeeds--> ``up``; fails --> ``ejected``
+      with a fresh cooldown
+
+    ``admit()`` is the routing-side gate (claims the half-open trial slot);
+    the prober uses the same accounting so a probe and a live request never
+    both count as "the" trial.
+    """
+
+    STATES = (REPLICA_UP, REPLICA_EJECTED, REPLICA_HALF_OPEN)
+
+    def __init__(self, host: str, port: int, eject_after: int = 3, cooldown_s: float = 2.0):
+        if eject_after < 1:
+            raise ValueError(f"eject_after must be >= 1, got {eject_after}")
+        self.host = host
+        self.port = port
+        self.key = f"{host}:{port}"
+        self.eject_after = eject_after
+        self.cooldown_s = cooldown_s
+        self._state = REPLICA_UP
+        self._failures = 0
+        self._ejected_until = 0.0
+        self._trial_claimed = False
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.failures_total = 0
+        self.ejections = 0
+
+    def _roll_state(self, now: float) -> None:
+        # Cooldown expiry is evaluated lazily; every caller holds _lock.
+        if self._state == REPLICA_EJECTED and now >= self._ejected_until:
+            # m3dlint: disable=M3D301 reason=_locked helper, only called with _lock held
+            self._state = REPLICA_HALF_OPEN
+            # m3dlint: disable=M3D301 reason=_locked helper, only called with _lock held
+            self._trial_claimed = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._roll_state(time.monotonic())
+            return self._state
+
+    def admit(self) -> bool:
+        """May this replica take a request right now?
+
+        ``up`` always admits; ``half-open`` admits exactly one in-flight
+        trial (the claim is released by the success/failure that follows);
+        ``ejected`` admits nothing until the cooldown matures.
+        """
+        with self._lock:
+            self._roll_state(time.monotonic())
+            if self._state == REPLICA_UP:
+                return True
+            if self._state == REPLICA_HALF_OPEN and not self._trial_claimed:
+                self._trial_claimed = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.requests += 1
+            self._failures = 0
+            self._trial_claimed = False
+            if self._state != REPLICA_UP:
+                log.info("replica_readmitted", replica=self.key)
+            self._state = REPLICA_UP
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.requests += 1
+            self.failures_total += 1
+            self._failures += 1
+            self._trial_claimed = False
+            if self._state == REPLICA_HALF_OPEN or (
+                self._state == REPLICA_UP and self._failures >= self.eject_after
+            ):
+                self._state = REPLICA_EJECTED
+                self._ejected_until = time.monotonic() + self.cooldown_s
+                self._failures = 0
+                self.ejections += 1
+                log.warning("replica_ejected", replica=self.key, cooldown_s=self.cooldown_s)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            self._roll_state(time.monotonic())
+            return {
+                "replica": self.key,
+                "state": self._state,
+                "requests": self.requests,
+                "failures": self.failures_total,
+                "ejections": self.ejections,
+            }
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    ``preference(key)`` returns *all* members in ring-walk order from the
+    key's hash point — position 0 is the owner, the rest the failover
+    order — so routing and failover share one deterministic permutation.
+    """
+
+    def __init__(self, keys: list[str], vnodes: int = 64):
+        if not keys:
+            raise ValueError("hash ring needs at least one key")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        points: list[tuple[int, str]] = []
+        for key in keys:
+            for v in range(vnodes):
+                points.append((self._hash(f"{key}#{v}"), key))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+        self._size = len(set(keys))
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int(hashlib.sha256(value.encode()).hexdigest()[:16], 16)
+
+    def preference(self, routing_key: str) -> list[str]:
+        start = bisect_right(self._hashes, self._hash(routing_key)) % len(self._points)
+        seen: set[str] = set()
+        order: list[str] = []
+        for step in range(len(self._points)):
+            key = self._points[(start + step) % len(self._points)][1]
+            if key not in seen:
+                seen.add(key)
+                order.append(key)
+                if len(order) == self._size:
+                    break
+        return order
+
+
+@dataclass(frozen=True)
+class RouterPolicy:
+    """Knobs bounding every routing decision (no unbounded anything)."""
+
+    #: Per-attempt socket timeout — connect and read (M3D210: explicit, always).
+    attempt_timeout_s: float = 30.0
+    #: Total attempts across the preference list before giving up.
+    max_attempts: int = 3
+    #: Consecutive failures before a replica is ejected.
+    eject_after: int = 3
+    #: How long an ejected replica sits out before its half-open trial.
+    cooldown_s: float = 2.0
+    #: Background health-probe cadence (None disables the prober).
+    probe_interval_s: float | None = 0.5
+    #: Socket timeout for each health probe.
+    probe_timeout_s: float = 2.0
+    #: Base/ceiling for the jittered inter-attempt backoff.
+    backoff: ExponentialBackoff = field(
+        default_factory=lambda: ExponentialBackoff(base_s=0.02, max_s=0.5)
+    )
+    #: Default deadline for requests that carry none.
+    default_deadline_s: float = 30.0
+
+
+@dataclass
+class RoutedResponse:
+    """What one proxied request resolved to, however many attempts it took."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+    replica: str | None
+    attempts: int
+
+
+class ReplicaRouter:
+    """Routing core: preference-list failover over health-gated replicas.
+
+    Deliberately independent of the HTTP server so tests can drive
+    :meth:`dispatch` directly with fake replicas.
+    """
+
+    def __init__(
+        self,
+        replicas: list[tuple[str, int]],
+        policy: RouterPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if not replicas:
+            raise ValueError("router needs at least one replica")
+        self.policy = policy or RouterPolicy()
+        self.replicas = [
+            Replica(
+                host,
+                port,
+                eject_after=self.policy.eject_after,
+                cooldown_s=self.policy.cooldown_s,
+            )
+            for host, port in replicas
+        ]
+        if len({r.key for r in self.replicas}) != len(self.replicas):
+            raise ValueError("duplicate replica specs")
+        self._by_key = {r.key: r for r in self.replicas}
+        self.ring = HashRing([r.key for r in self.replicas])
+        self._draining = False
+        self._prober: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.metrics = metrics or MetricsRegistry()
+        m = self.metrics
+        self.m_requests = m.counter("m3d_route_requests_total", "requests routed")
+        self.m_retries = m.counter(
+            "m3d_route_retries_total", "extra attempts after a failed first try"
+        )
+        self.m_failovers = m.counter(
+            "m3d_route_failovers_total", "requests served by a non-owner replica"
+        )
+        self.m_no_replica = m.counter(
+            "m3d_route_unrouted_total", "requests that exhausted every replica (502)"
+        )
+        self.m_probes = m.counter("m3d_route_probes_total", "health probes sent")
+        self.m_probe_failures = m.counter("m3d_route_probe_failures_total", "health probes failed")
+        self.m_inflight = m.gauge("m3d_route_inflight", "proxied requests in flight")
+        self.m_replicas_up = m.gauge("m3d_route_replicas_up", "replicas in the up state")
+        self.m_replicas_up.set(len(self.replicas))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._prober is None and self.policy.probe_interval_s is not None:
+            self._prober = threading.Thread(
+                target=self._probe_loop, name="m3d-route-prober", daemon=True
+            )
+            self._prober.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=5.0)
+
+    def begin_drain(self) -> None:
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def await_drain(self, deadline_s: float = 10.0) -> None:
+        """Block until in-flight proxied requests hit zero (or deadline)."""
+        deadline = Deadline.after(deadline_s)
+        while self.m_inflight.value > 0 and not deadline.expired():
+            time.sleep(0.005)
+
+    # -- health ------------------------------------------------------------
+
+    def _probe_loop(self) -> None:
+        interval = self.policy.probe_interval_s or 0.5
+        while not self._stop.wait(interval):
+            try:
+                for replica in self.replicas:
+                    if self._stop.is_set():
+                        return
+                    state = replica.state
+                    if state == REPLICA_EJECTED:
+                        continue  # cooldown not matured; nothing to learn yet
+                    if state == REPLICA_HALF_OPEN and not replica.admit():
+                        continue  # a live request already claimed the trial
+                    self.m_probes.inc()
+                    if self._probe(replica):
+                        replica.record_success()
+                    else:
+                        self.m_probe_failures.inc()
+                        replica.record_failure()
+                self.m_replicas_up.set(
+                    sum(1 for r in self.replicas if r.state == REPLICA_UP)
+                )
+            except Exception:
+                # A prober that dies silently stops readmitting replicas.
+                log.exception("probe_iteration_failed")
+
+    def _probe(self, replica: Replica) -> bool:
+        conn = http.client.HTTPConnection(
+            replica.host, replica.port, timeout=self.policy.probe_timeout_s
+        )
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            # 200 covers ok *and* degraded: a degraded replica still serves.
+            return response.status == 200
+        except (OSError, http.client.HTTPException):
+            return False
+        finally:
+            conn.close()
+
+    def health_snapshot(self) -> dict[str, Any]:
+        """Router-level health: ``ok`` / ``degraded-k-of-n`` / ``unhealthy``."""
+        workers = [r.snapshot() for r in self.replicas]
+        up = sum(1 for w in workers if w["state"] == REPLICA_UP)
+        n = len(workers)
+        if up == 0:
+            status = "unhealthy"
+        elif up < n:
+            status = f"degraded-{up}-of-{n}"
+        else:
+            status = "ok"
+        if self._draining:
+            status = "draining"
+        return {
+            "status": status,
+            "replicas": workers,
+            "inflight": self.m_inflight.value,
+            "draining": self._draining,
+        }
+
+    # -- routing -----------------------------------------------------------
+
+    @staticmethod
+    def routing_key(method: str, path: str, body: bytes | None) -> str:
+        """Body digest when there is one (payload affinity), path otherwise."""
+        if body:
+            return hashlib.sha256(body).hexdigest()
+        return f"{method} {path}"
+
+    @staticmethod
+    def is_idempotent(method: str, path: str) -> bool:
+        clean = urlparse(path).path
+        return method in ("GET", "HEAD") or (method == "POST" and clean in _IDEMPOTENT_POSTS)
+
+    def _deadline_for(self, headers: dict[str, str]) -> Deadline:
+        raw = headers.get(DEADLINE_HEADER)
+        if raw is not None:
+            try:
+                budget_ms = float(raw)
+                if budget_ms > 0:
+                    return Deadline.after(budget_ms / 1e3)
+            except (TypeError, ValueError):
+                pass  # malformed deadline: the replica will reject it with a 400
+        return Deadline.after(self.policy.default_deadline_s)
+
+    def dispatch(
+        self, method: str, path: str, body: bytes | None, headers: dict[str, str]
+    ) -> RoutedResponse:
+        """Route one request: preference-list walk, bounded jittered retries.
+
+        Every admitted request resolves — to a replica's response, to the
+        last replica 5xx seen, to a 504 when the deadline expires before an
+        attempt can be made, or to a structured 502 when every replica is
+        unreachable. Nothing is silently dropped.
+        """
+        self.m_requests.inc()
+        deadline = self._deadline_for(headers)
+        idempotent = self.is_idempotent(method, path)
+        preference = self.ring.preference(self.routing_key(method, path, body))
+        backoff = ExponentialBackoff(
+            base_s=self.policy.backoff.base_s,
+            factor=self.policy.backoff.factor,
+            max_s=self.policy.backoff.max_s,
+        )
+        attempts = 0
+        last: RoutedResponse | None = None
+        self.m_inflight.inc()
+        try:
+            for rank, key in enumerate(preference):
+                if attempts >= self.policy.max_attempts:
+                    break
+                if deadline.expired():
+                    return self._deadline_response(attempts)
+                replica = self._by_key[key]
+                if not replica.admit():
+                    continue
+                if attempts > 0:
+                    self.m_retries.inc()
+                    time.sleep(jittered(backoff.next_delay()))
+                attempts += 1
+                kind, result = self._attempt(replica, method, path, body, headers, deadline)
+                if kind == "response":
+                    assert isinstance(result, RoutedResponse)
+                    result.attempts = attempts
+                    if result.status in _FAILOVER_STATUSES:
+                        replica.record_failure()
+                        last = result
+                        if not idempotent:
+                            return result
+                        continue  # try the next replica in preference order
+                    replica.record_success()
+                    if rank > 0:
+                        self.m_failovers.inc()
+                    return result
+                replica.record_failure()
+                log.warning(
+                    "replica_attempt_failed",
+                    replica=replica.key,
+                    phase=kind,
+                    error=str(result),
+                    attempt=attempts,
+                )
+                if kind == "send" and not idempotent:
+                    # The replica may have executed the request; replaying a
+                    # non-idempotent call could double-apply it.
+                    return RoutedResponse(
+                        status=502,
+                        headers={"Content-Type": "application/json"},
+                        body=self._error_body(
+                            "replica_failed",
+                            f"replica {replica.key} failed mid-request "
+                            "(not retried: non-idempotent)",
+                        ),
+                        replica=replica.key,
+                        attempts=attempts,
+                    )
+            if last is not None:
+                return last  # best answer we have: the final replica 5xx
+            self.m_no_replica.inc()
+            return RoutedResponse(
+                status=502,
+                headers={"Content-Type": "application/json"},
+                body=self._error_body(
+                    "no_replica_available",
+                    f"all {len(self.replicas)} replicas unreachable or ejected",
+                ),
+                replica=None,
+                attempts=attempts,
+            )
+        finally:
+            self.m_inflight.dec()
+
+    def _attempt(
+        self,
+        replica: Replica,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str],
+        deadline: Deadline,
+    ) -> tuple[str, RoutedResponse | BaseException]:
+        """One try against one replica.
+
+        Returns ``("response", RoutedResponse)`` on any HTTP response,
+        ``("connect", exc)`` when the TCP connect failed (nothing sent —
+        always safe to retry), or ``("send", exc)`` when the failure came
+        after the request may have reached the replica (retry only if
+        idempotent). The explicit ``connect()`` call is what makes the
+        distinction trustworthy.
+        """
+        timeout = min(self.policy.attempt_timeout_s, max(0.001, deadline.remaining()))
+        conn = http.client.HTTPConnection(replica.host, replica.port, timeout=timeout)
+        try:
+            try:
+                conn.connect()
+            except (OSError, http.client.HTTPException) as exc:
+                return ("connect", exc)
+            fwd = {k: v for k, v in headers.items() if k in _FORWARD_REQUEST_HEADERS}
+            fwd[DEADLINE_HEADER] = str(max(1, int(deadline.remaining() * 1e3)))
+            try:
+                conn.request(method, path, body=body, headers=fwd)
+                response = conn.getresponse()
+                payload = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                return ("send", exc)
+            relayed = {
+                name: value
+                for name, value in response.getheaders()
+                if name in _RELAY_RESPONSE_HEADERS
+            }
+            relayed[REPLICA_HEADER] = replica.key
+            return (
+                "response",
+                RoutedResponse(
+                    status=response.status,
+                    headers=relayed,
+                    body=payload,
+                    replica=replica.key,
+                    attempts=0,  # dispatch() stamps the true count
+                ),
+            )
+        finally:
+            conn.close()
+
+    def _deadline_response(self, attempts: int) -> RoutedResponse:
+        return RoutedResponse(
+            status=504,
+            headers={"Content-Type": "application/json"},
+            body=self._error_body("deadline_exceeded", "deadline expired before routing"),
+            replica=None,
+            attempts=attempts,
+        )
+
+    @staticmethod
+    def _error_body(error: str, detail: str) -> bytes:
+        payload = {"error": error, "detail": detail}
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        return json.dumps(payload).encode()
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """Threaded front for a :class:`ReplicaRouter`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], router: ReplicaRouter):
+        super().__init__(address, _RouterHandler)
+        self.router = router
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    server_version = "m3d-route/0.1"
+    protocol_version = "HTTP/1.1"
+    server: RouterHTTPServer
+
+    def log_message(self, format: str, *args: Any) -> None:
+        log.debug("router_access", client=self.address_string(), line=format % args)
+
+    def _send(self, response: RoutedResponse) -> None:
+        self.send_response(response.status)
+        headers = dict(response.headers)
+        headers.setdefault("Content-Type", "application/json")
+        headers[ATTEMPTS_HEADER] = str(response.attempts)
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            headers.setdefault(TRACE_HEADER, trace_id)
+        headers["Content-Length"] = str(len(response.body))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        self._send(
+            RoutedResponse(
+                status=status,
+                headers={"Content-Type": "application/json"},
+                body=json.dumps(payload).encode(),
+                replica=None,
+                attempts=0,
+            )
+        )
+
+    def _handle(self, method: str) -> None:
+        router = self.server.router
+        path = urlparse(self.path).path
+        if path == "/router/healthz":
+            health = router.health_snapshot()
+            status = 200 if health["status"] == "ok" or health["status"].startswith(
+                "degraded"
+            ) else 503
+            self._send_json(status, health)
+            return
+        if path == "/router/metrics":
+            self._send_json(200, router.metrics.to_json_dict())
+            return
+        if router.draining:
+            self._send_json(503, {"error": "draining", "detail": "router is draining"})
+            return
+        body: bytes | None = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > 0:
+            body = self.rfile.read(length)
+        headers = {k: v for k, v in self.headers.items()}
+        response = router.dispatch(method, self.path, body, headers)
+        self._send(response)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        trace_id = sanitize_trace_id(self.headers.get(TRACE_HEADER)) or new_trace_id()
+        with _trace_context(trace_id):
+            self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        trace_id = sanitize_trace_id(self.headers.get(TRACE_HEADER)) or new_trace_id()
+        with _trace_context(trace_id):
+            self._handle("POST")
+
+
+def create_router_server(
+    router: ReplicaRouter, host: str = "127.0.0.1", port: int = 0
+) -> RouterHTTPServer:
+    """Bind the router front (``port=0`` → ephemeral) and start its prober."""
+    server = RouterHTTPServer((host, port), router)
+    router.start()
+    return server

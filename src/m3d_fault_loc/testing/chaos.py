@@ -13,13 +13,34 @@ number of times — chaos tests must be reproducible, never probabilistic:
   disk so checksum verification (and quarantine) can be exercised.
 - :class:`FlakyIO` — a callable for ``ModelRegistry.io_fault_hook`` that
   raises for the first N I/O attempts, exercising retry-with-backoff.
+
+Pool-level faults (the worker-pool topology shares one model object across
+shards, so these shims key off the worker thread's *name* — see
+:func:`current_shard_index` — to target worker *i* of *n*):
+
+- :class:`CrashShardWorkerModel` — kills only the worker thread for one
+  chosen shard, the others keep serving (crash isolation + reroute).
+- :class:`StallShardModel` — wedges only one shard's forward passes so the
+  per-shard stall detector (not its siblings') fires.
+
+Network/replica-level faults for the router tier:
+
+- :class:`StubReplica` — a programmable in-process HTTP replica with
+  per-request fault scripting (``fail_next``/``hang_next``/``drop_next``)
+  and a ``partitioned`` switch that refuses connections outright.
+- :func:`slow_loris` — opens a raw socket to a server and dribbles an
+  incomplete request, holding the connection open (a slot-exhaustion probe
+  against threaded servers).
 """
 
 from __future__ import annotations
 
+import json
+import socket
 import threading
 import time
 from collections.abc import Sequence
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
 
@@ -28,6 +49,25 @@ import numpy as np
 from m3d_fault_loc.graph.schema import CircuitGraph
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
 from m3d_fault_loc.serve.registry import ModelRegistry
+from m3d_fault_loc.serve.service import WORKER_THREAD_PREFIX
+
+
+def current_shard_index() -> int | None:
+    """Shard index of the calling batch-worker thread, ``None`` elsewhere.
+
+    Worker threads are named ``m3d-localize-worker-<shard>-g<gen>`` by the
+    service; parsing the name lets a *shared* chaos model decide which
+    shard's calls to sabotage without any plumbing through the service.
+    """
+    name = threading.current_thread().name
+    if not name.startswith(WORKER_THREAD_PREFIX):
+        return None
+    tail = name[len(WORKER_THREAD_PREFIX):]
+    shard, _, _ = tail.partition("-")
+    try:
+        return int(shard)
+    except ValueError:
+        return None
 
 
 class WorkerKilled(BaseException):
@@ -179,3 +219,274 @@ class FlakyIO:
             self.calls += 1
             if self.calls <= self.failures:
                 raise self.exc_type(f"injected transient I/O failure {self.calls}")
+
+
+class CrashShardWorkerModel(ChaosModelWrapper):
+    """Kill worker ``target_shard``'s thread on its ``crash_on``-th batch.
+
+    Calls from every *other* shard pass straight through — the shape needed
+    to prove crash isolation: shard *i* dies, its in-flight futures fail
+    with trace ids, its traffic reroutes to siblings, and the siblings
+    never notice. ``crash_count`` bounds how many of the target shard's
+    batches die (the watchdog's restarted worker then succeeds).
+    """
+
+    def __init__(
+        self,
+        base: DelayFaultLocalizer,
+        target_shard: int,
+        crash_on: int = 1,
+        crash_count: int | None = 1,
+    ):
+        super().__init__(base)
+        if target_shard < 0:
+            raise ValueError(f"target_shard must be >= 0, got {target_shard}")
+        if crash_on < 1:
+            raise ValueError(f"crash_on counts from 1, got {crash_on}")
+        self.target_shard = target_shard
+        self.crash_on = crash_on
+        self.crash_count = crash_count
+        self.shard_calls = 0
+
+    def node_scores_batch(
+        self, graphs: Sequence[CircuitGraph], digests: Sequence[str | None] | None = None
+    ) -> list[np.ndarray]:
+        self._next_call()
+        if current_shard_index() == self.target_shard:
+            with self._lock:
+                self.shard_calls += 1
+                call = self.shard_calls
+            if call >= self.crash_on and (
+                self.crash_count is None or call < self.crash_on + self.crash_count
+            ):
+                raise WorkerKilled(
+                    f"injected kill of shard {self.target_shard} (shard call {call})"
+                )
+        return self._base.node_scores_batch(graphs, digests=digests)
+
+
+class StallShardModel(ChaosModelWrapper):
+    """Wedge only shard ``target_shard``: its forward passes block on an
+    event (or sleep ``delay_s``), siblings run at full speed.
+
+    Exercises the *per-shard* stall detector: the watchdog must restart the
+    wedged worker on heartbeat age while the healthy shards' heartbeats
+    keep them untouched. Call :meth:`release` to unwedge (the superseded
+    worker then exits on its generation check).
+    """
+
+    def __init__(
+        self, base: DelayFaultLocalizer, target_shard: int, delay_s: float | None = None
+    ):
+        super().__init__(base)
+        if target_shard < 0:
+            raise ValueError(f"target_shard must be >= 0, got {target_shard}")
+        self.target_shard = target_shard
+        self.delay_s = delay_s
+        self._release = threading.Event()
+        self.stalled_calls = 0
+
+    def release(self) -> None:
+        self._release.set()
+
+    def node_scores_batch(
+        self, graphs: Sequence[CircuitGraph], digests: Sequence[str | None] | None = None
+    ) -> list[np.ndarray]:
+        self._next_call()
+        if current_shard_index() == self.target_shard and not self._release.is_set():
+            with self._lock:
+                self.stalled_calls += 1
+            if self.delay_s is not None:
+                time.sleep(self.delay_s)
+            else:
+                # Bounded even for the "wedge forever" mode: a forgotten
+                # release() must fail the test loudly, not hang the suite.
+                self._release.wait(timeout=60.0)
+        return self._base.node_scores_batch(graphs, digests=digests)
+
+
+class _StubReplicaHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "StubReplica"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # chaos stubs stay silent
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle(self, method: str) -> None:
+        stub = self.server
+        stub.record(method, self.path)
+        action = stub.next_action()
+        if action == "hang":
+            time.sleep(stub.hang_s)
+        elif action == "drop":
+            # Close the socket mid-exchange: the client sees a reset after
+            # the request was (possibly) received — the ambiguous failure.
+            self.connection.close()
+            return
+        elif action == "fail":
+            self._respond(503, {"error": "injected_failure", "replica": stub.name})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length > 0 else b""
+        if self.path == "/healthz":
+            self._respond(200, {"status": "ok", "replica": stub.name})
+            return
+        self._respond(
+            200,
+            {
+                "replica": stub.name,
+                "method": method,
+                "path": self.path,
+                "echo_bytes": len(body),
+                "served": stub.served_count(),
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._handle("POST")
+
+
+class StubReplica(ThreadingHTTPServer):
+    """Programmable fake ``m3d-serve`` replica for router chaos tests.
+
+    Healthy by default: answers ``/healthz`` with 200 and echoes everything
+    else. Faults are *scripted*, never random:
+
+    - :meth:`fail_next` — the next N requests answer an injected 503;
+    - :meth:`hang_next` — the next N requests sleep ``hang_s`` before
+      answering (client-side timeout territory);
+    - :meth:`drop_next` — the next N connections are closed mid-exchange
+      (the ambiguous post-send failure);
+    - :attr:`partitioned` — while ``True``, the listener is not accepting:
+      :meth:`partition` closes the socket so connects fail fast, and
+      :meth:`heal` rebinds on the *same* port.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, name: str = "stub", host: str = "127.0.0.1", hang_s: float = 5.0):
+        super().__init__((host, 0), _StubReplicaHandler)
+        self.name = name
+        self.host = host
+        self.hang_s = hang_s
+        self.partitioned = False
+        self._script: list[str] = []
+        self._requests: list[tuple[str, str]] = []
+        self._served = 0
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def key(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "StubReplica":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name=f"stub-replica-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    # -- scripting ---------------------------------------------------------
+
+    def fail_next(self, n: int = 1) -> None:
+        with self._lock:
+            self._script.extend(["fail"] * n)
+
+    def hang_next(self, n: int = 1) -> None:
+        with self._lock:
+            self._script.extend(["hang"] * n)
+
+    def drop_next(self, n: int = 1) -> None:
+        with self._lock:
+            self._script.extend(["drop"] * n)
+
+    def partition(self) -> None:
+        """Refuse connections outright (connect-phase failure) until healed."""
+        if not self.partitioned:
+            self.partitioned = True
+            self.shutdown()
+            self.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+
+    def heal(self, port: int | None = None) -> None:
+        """Rebind (same port by default) and resume serving."""
+        if not self.partitioned:
+            return
+        self.server_address = (self.host, port if port is not None else self.port)
+        # ThreadingHTTPServer.__init__ would rebuild state; rebind manually.
+        self.socket = socket.socket(self.address_family, self.socket_type)
+        self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.server_bind()
+        self.server_activate()
+        self.partitioned = False
+        self.start()
+
+    # -- accounting --------------------------------------------------------
+
+    def next_action(self) -> str:
+        with self._lock:
+            return self._script.pop(0) if self._script else "serve"
+
+    def record(self, method: str, path: str) -> None:
+        with self._lock:
+            self._requests.append((method, path))
+            self._served += 1
+
+    def served_count(self) -> int:
+        with self._lock:
+            return self._served
+
+    def requests_seen(self) -> list[tuple[str, str]]:
+        with self._lock:
+            return list(self._requests)
+
+
+def slow_loris(
+    host: str, port: int, hold_s: float, partial: bytes = b"POST /localize HTTP/1.1\r\n"
+) -> threading.Thread:
+    """Hold a connection open with an eternally incomplete request.
+
+    Connects, dribbles ``partial`` (headers never finish), and keeps the
+    socket open for ``hold_s`` — the classic slot-exhaustion attack shape.
+    Returns the (daemon) thread holding the socket; join it to release.
+    A threaded server must keep answering *other* clients throughout.
+    """
+
+    def _hold() -> None:
+        try:
+            # Explicit timeout (M3D210): the *attacker* must also not hang
+            # the test suite if the server closes on it.
+            with socket.create_connection((host, port), timeout=hold_s + 5.0) as sock:
+                sock.sendall(partial)
+                time.sleep(hold_s)
+        except OSError:
+            pass  # server closed on us; the hold simply ends early
+
+    thread = threading.Thread(target=_hold, name="chaos-slow-loris", daemon=True)
+    thread.start()
+    return thread

@@ -19,7 +19,12 @@ import pytest
 from m3d_fault_loc.testing import racecheck
 
 #: Test modules whose lock traffic runs under the sanitizer.
-RACECHECK_MODULES = ("test_chaos", "test_concurrency_stress")
+RACECHECK_MODULES = (
+    "test_chaos",
+    "test_concurrency_stress",
+    "test_pool_chaos",
+    "test_router",
+)
 
 
 @pytest.fixture(autouse=True)

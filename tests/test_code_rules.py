@@ -452,3 +452,80 @@ def test_scenario_and_data_sources_pass_rng_discipline():
         for source_file in sorted((src_root / tree).rglob("*.py")):
             violations = lint_source(source_file.read_text(), source_file)
             assert not [v for v in violations if v.rule_id == "M3D209"], source_file
+
+
+# -- M3D210 client timeouts -------------------------------------------------
+
+
+def test_http_connection_without_timeout_warns():
+    src = (
+        "import http.client\n"
+        "conn = http.client.HTTPConnection('replica')\n"
+    )
+    (finding,) = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D210"]
+    assert finding.severity is Severity.WARNING
+    assert "timeout" in finding.message
+
+
+def test_http_connection_without_timeout_inside_serve_is_error():
+    src = (
+        "import http.client\n"
+        "conn = http.client.HTTPConnection('replica', 8361)\n"
+    )
+    serve_path = Path("src/m3d_fault_loc/serve/router.py")
+    (finding,) = [v for v in lint_source(src, serve_path) if v.rule_id == "M3D210"]
+    assert finding.severity is Severity.ERROR
+
+
+def test_timeout_kwarg_and_positional_slot_are_clean():
+    src = (
+        "import http.client\n"
+        "import socket\n"
+        "import urllib.request\n"
+        "a = http.client.HTTPConnection('h', 80, timeout=5.0)\n"
+        "b = http.client.HTTPConnection('h', 80, 5.0)\n"
+        "c = socket.create_connection(('h', 80), 5.0)\n"
+        "d = socket.create_connection(('h', 80), timeout=5.0)\n"
+        "e = urllib.request.urlopen('http://h', None, 5.0)\n"
+        "f = urllib.request.urlopen('http://h', timeout=5.0)\n"
+    )
+    assert "M3D210" not in fired(src)
+
+
+def test_aliased_imports_still_flagged():
+    src = (
+        "import http.client as hc\n"
+        "from socket import create_connection as cc\n"
+        "from http.client import HTTPSConnection\n"
+        "a = hc.HTTPConnection('h')\n"
+        "b = cc(('h', 80))\n"
+        "c = HTTPSConnection('h')\n"
+    )
+    findings = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D210"]
+    assert len(findings) == 3
+
+
+def test_kwargs_splat_assumed_to_carry_timeout():
+    src = (
+        "import socket\n"
+        "def dial(addr, **opts):\n"
+        "    return socket.create_connection(addr, **opts)\n"
+    )
+    assert "M3D210" not in fired(src)
+
+
+def test_unrelated_callables_not_flagged():
+    src = (
+        "class HTTPConnection:\n"
+        "    pass\n"
+        "conn = HTTPConnection()\n"
+        "mine = some.other.create_connection('x')\n"
+    )
+    assert "M3D210" not in fired(src)
+
+
+def test_serve_sources_pass_the_client_timeout_rule():
+    src_root = Path(__file__).resolve().parents[1] / "src" / "m3d_fault_loc"
+    for source_file in sorted((src_root / "serve").rglob("*.py")):
+        violations = lint_source(source_file.read_text(), source_file)
+        assert not [v for v in violations if v.rule_id == "M3D210"], source_file

@@ -1,0 +1,349 @@
+"""Replica router: consistent-hash affinity, health-aware failover, drain.
+
+Driven against :class:`m3d_fault_loc.testing.chaos.StubReplica` — a
+programmable in-process replica with scripted faults — so every network
+failure mode is injected deterministically:
+
+- repeat payloads route to the same replica (cache affinity) and the ring's
+  walk order is the failover preference;
+- a partitioned replica (connect refused) fails over with zero lost
+  requests; consecutive failures eject it; a healed replica is readmitted
+  through the half-open probe;
+- post-send failures are retried only for idempotent requests, never for
+  non-idempotent ones; expired deadlines are never retried;
+- a slow-loris connection does not stop the router from serving others;
+- drain stops admission with a structured 503 and finishes in-flight work.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from m3d_fault_loc.serve.resilience import ExponentialBackoff
+from m3d_fault_loc.serve.router import (
+    ATTEMPTS_HEADER,
+    REPLICA_EJECTED,
+    REPLICA_HEADER,
+    REPLICA_UP,
+    HashRing,
+    Replica,
+    ReplicaRouter,
+    RouterPolicy,
+    create_router_server,
+    parse_replica_spec,
+)
+from m3d_fault_loc.testing.chaos import StubReplica, slow_loris
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def fast_policy(**overrides):
+    defaults = dict(
+        attempt_timeout_s=2.0,
+        max_attempts=3,
+        eject_after=2,
+        cooldown_s=0.2,
+        probe_interval_s=None,  # probing is opt-in per test
+        probe_timeout_s=0.5,
+        backoff=ExponentialBackoff(base_s=0.005, max_s=0.02),
+        default_deadline_s=5.0,
+    )
+    defaults.update(overrides)
+    return RouterPolicy(**defaults)
+
+
+@pytest.fixture()
+def two_replicas():
+    a = StubReplica("a").start()
+    b = StubReplica("b").start()
+    yield a, b
+    for stub in (a, b):
+        if not stub.partitioned:
+            stub.stop()
+
+
+def make_router(stubs, **policy_overrides):
+    return ReplicaRouter(
+        [("127.0.0.1", s.port) for s in stubs], policy=fast_policy(**policy_overrides)
+    )
+
+
+# -- spec parsing and the ring ----------------------------------------------
+
+
+def test_parse_replica_spec():
+    assert parse_replica_spec("127.0.0.1:8361") == ("127.0.0.1", 8361)
+    for bad in ("no-port", ":8080", "h:", "h:0", "h:99999", "h:abc"):
+        with pytest.raises(ValueError):
+            parse_replica_spec(bad)
+
+
+def test_hash_ring_preference_is_deterministic_and_complete():
+    ring = HashRing(["a:1", "b:2", "c:3"])
+    order = ring.preference("some-digest")
+    assert sorted(order) == ["a:1", "b:2", "c:3"]
+    assert ring.preference("some-digest") == order
+    assert ring.preference("another-digest") != order or True  # just determinism
+
+
+def test_hash_ring_remaps_bounded_fraction_on_member_loss():
+    keys = [f"r{i}:80" for i in range(4)]
+    ring_all = HashRing(keys)
+    ring_less = HashRing(keys[:-1])
+    payloads = [f"payload-{i}" for i in range(200)]
+    moved = sum(
+        1
+        for p in payloads
+        if ring_all.preference(p)[0] != ring_less.preference(p)[0]
+        and ring_all.preference(p)[0] != keys[-1]
+    )
+    # Only keys owned by the removed member should move (plus hash noise).
+    assert moved <= 20, f"{moved}/200 unrelated keys remapped"
+
+
+def test_replica_state_machine_half_open_single_trial():
+    replica = Replica("h", 1, eject_after=2, cooldown_s=0.1)
+    assert replica.state == REPLICA_UP
+    replica.record_failure()
+    assert replica.state == REPLICA_UP  # one failure is not ejection
+    replica.record_failure()
+    assert replica.state == REPLICA_EJECTED
+    assert not replica.admit()
+    assert wait_until(lambda: replica.admit(), timeout=1.0)  # half-open trial
+    assert not replica.admit(), "only one half-open trial at a time"
+    replica.record_failure()  # trial fails -> re-ejected with fresh cooldown
+    assert replica.state == REPLICA_EJECTED
+    assert wait_until(lambda: replica.admit(), timeout=1.0)
+    replica.record_success()
+    assert replica.state == REPLICA_UP
+
+
+# -- routing affinity and failover ------------------------------------------
+
+
+def test_same_payload_routes_to_same_replica(two_replicas):
+    router = make_router(two_replicas)
+    body = b'{"graph": "stable-payload"}'
+    first = router.dispatch("POST", "/localize", body, {})
+    assert first.status == 200
+    for _ in range(5):
+        again = router.dispatch("POST", "/localize", body, {})
+        assert again.replica == first.replica
+    router.close()
+
+
+def test_partitioned_replica_fails_over_with_zero_lost(two_replicas):
+    a, b = two_replicas
+    router = make_router(two_replicas)
+    body = b'{"graph": "find-the-owner"}'
+    owner_key = router.dispatch("POST", "/localize", body, {}).replica
+    victim = a if owner_key == a.key else b
+    victim.partition()
+    for _ in range(10):
+        response = router.dispatch("POST", "/localize", body, {})
+        assert response.status == 200, response.body
+        assert response.replica != owner_key
+    router.close()
+
+
+def test_consecutive_connect_failures_eject_then_heal_readmits(two_replicas):
+    a, b = two_replicas
+    router = make_router(two_replicas, probe_interval_s=0.05)
+    router.start()
+    body = b'{"graph": "eject-me"}'
+    owner_key = router.dispatch("POST", "/localize", body, {}).replica
+    victim = a if owner_key == a.key else b
+    victim.partition()
+    # Prober observes connect failures and ejects without live traffic.
+    assert wait_until(
+        lambda: router._by_key[victim.key].state == REPLICA_EJECTED, timeout=3.0
+    )
+    # Ejected replica is skipped outright: requests go straight to the
+    # survivor with a single attempt.
+    response = router.dispatch("POST", "/localize", body, {})
+    assert response.status == 200
+    assert response.attempts == 1
+    assert response.replica != victim.key
+    victim.heal()
+    assert wait_until(
+        lambda: router._by_key[victim.key].state == REPLICA_UP, timeout=3.0
+    )
+    router.close()
+    victim.stop()
+
+
+def test_scripted_503_fails_over_for_idempotent_requests(two_replicas):
+    a, b = two_replicas
+    router = make_router(two_replicas)
+    body = b'{"graph": "failover-on-503"}'
+    owner_key = router.dispatch("POST", "/localize", body, {}).replica
+    owner = a if owner_key == a.key else b
+    owner.fail_next(1)
+    response = router.dispatch("POST", "/localize", body, {})
+    assert response.status == 200
+    assert response.replica != owner_key
+    assert response.attempts == 2
+    router.close()
+
+
+def test_post_send_drop_not_retried_for_non_idempotent_path(two_replicas):
+    a, b = two_replicas
+    router = make_router(two_replicas)
+    body = b'{"cmd": "mutate"}'
+    owner_key = router.dispatch("POST", "/admin/mutate", body, {}).replica
+    owner = a if owner_key == a.key else b
+    owner.drop_next(1)
+    response = router.dispatch("POST", "/admin/mutate", body, {})
+    assert response.status == 502
+    assert json.loads(response.body)["error"] == "replica_failed"
+    assert response.attempts == 1, "a dropped non-idempotent request must not replay"
+    router.close()
+
+
+def test_post_send_drop_is_retried_for_localize(two_replicas):
+    a, b = two_replicas
+    router = make_router(two_replicas)
+    body = b'{"graph": "retry-me"}'
+    owner_key = router.dispatch("POST", "/localize", body, {}).replica
+    owner = a if owner_key == a.key else b
+    owner.drop_next(1)
+    response = router.dispatch("POST", "/localize", body, {})
+    assert response.status == 200, "POST /localize is a pure function: safe to replay"
+    assert response.attempts == 2
+    router.close()
+
+
+def test_expired_deadline_is_never_retried(two_replicas):
+    a, b = two_replicas
+    router = make_router(two_replicas)
+    body = b'{"graph": "hang"}'
+    owner_key = router.dispatch("POST", "/localize", body, {}).replica
+    owner = a if owner_key == a.key else b
+    owner.hang_next(1)
+    started = time.monotonic()
+    response = router.dispatch(
+        "POST", "/localize", body, {"X-M3D-Deadline-Ms": "150"}
+    )
+    elapsed = time.monotonic() - started
+    assert response.status == 504
+    assert json.loads(response.body)["error"] == "deadline_exceeded"
+    assert elapsed < 2.0, "deadline must cut the attempt, not wait out the hang"
+    router.close()
+
+
+def test_all_replicas_down_yields_structured_502(two_replicas):
+    a, b = two_replicas
+    a.partition()
+    b.partition()
+    router = make_router(two_replicas)
+    response = router.dispatch("POST", "/localize", b'{"graph": "x"}', {})
+    assert response.status == 502
+    assert json.loads(response.body)["error"] == "no_replica_available"
+    assert router.m_no_replica.value == 1
+    router.close()
+
+
+def test_router_health_degrades_and_recovers(two_replicas):
+    a, b = two_replicas
+    router = make_router(two_replicas, probe_interval_s=0.05)
+    router.start()
+    assert router.health_snapshot()["status"] == "ok"
+    a.partition()
+    assert wait_until(
+        lambda: router.health_snapshot()["status"].startswith("degraded"), timeout=3.0
+    )
+    assert router.health_snapshot()["status"] == "degraded-1-of-2"
+    a.heal()
+    assert wait_until(lambda: router.health_snapshot()["status"] == "ok", timeout=3.0)
+    router.close()
+
+
+# -- the HTTP front ----------------------------------------------------------
+
+
+@pytest.fixture()
+def http_router(two_replicas):
+    router = make_router(two_replicas, probe_interval_s=0.1)
+    server = create_router_server(router)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, router
+    server.shutdown()
+    server.server_close()
+    router.close()
+    thread.join(timeout=5.0)
+
+
+def http_post(port, path, body, headers=None, timeout=5.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("POST", path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def http_get(port, path, timeout=5.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def test_http_proxy_sets_replica_and_attempt_headers(http_router):
+    server, _ = http_router
+    status, headers, body = http_post(server.port, "/localize", b'{"graph": "h"}')
+    assert status == 200
+    assert REPLICA_HEADER in headers
+    assert headers[ATTEMPTS_HEADER] == "1"
+    assert "X-M3D-Trace-Id" in headers
+
+
+def test_router_own_endpoints(http_router):
+    server, router = http_router
+    status, _, body = http_get(server.port, "/router/healthz")
+    assert status == 200
+    assert json.loads(body)["status"] == "ok"
+    status, _, body = http_get(server.port, "/router/metrics")
+    assert status == 200
+    assert "m3d_route_requests_total" in json.loads(body)
+
+
+def test_slow_loris_does_not_block_other_clients(http_router):
+    server, _ = http_router
+    holder = slow_loris("127.0.0.1", server.port, hold_s=1.5)
+    try:
+        started = time.monotonic()
+        status, _, _ = http_post(server.port, "/localize", b'{"graph": "l"}')
+        elapsed = time.monotonic() - started
+        assert status == 200
+        assert elapsed < 1.0, "one held connection must not serialize the router"
+    finally:
+        holder.join(timeout=5.0)
+
+
+def test_drain_rejects_new_requests_with_structured_503(http_router):
+    server, router = http_router
+    router.begin_drain()
+    status, _, body = http_post(server.port, "/localize", b'{"graph": "late"}')
+    assert status == 503
+    assert json.loads(body)["error"] == "draining"
+    # Router-own health keeps answering during drain and reports it.
+    status, _, body = http_get(server.port, "/router/healthz")
+    assert json.loads(body)["status"] == "draining"
+    router.await_drain(1.0)
+    assert router.m_inflight.value == 0
