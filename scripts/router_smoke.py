@@ -12,6 +12,11 @@ mid-traffic, and asserts the acceptance criterion of the replica tier:
 - **recovery** — a replacement replica on the same port is readmitted by
   the half-open probe, health returns to ``ok``, and the restored replica
   serves traffic again (consistent hashing routes its keys home).
+- **observability under chaos** — every process writes a ``--trace-log``;
+  mid-chaos, ``m3d-obs stitch`` must still join the killed replica's hops
+  into cross-process waterfalls (its flushed records survive the SIGKILL,
+  the lost attempt shows as a missing hop) and ``m3d-obs fleet`` against
+  the router's ``/router/fleet`` must report ``degraded-1-of-2``.
 
 Runs under a hard timeout in CI so a hang fails the job, not wedges it.
 
@@ -25,10 +30,12 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import shutil
 import signal
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -110,12 +117,25 @@ def _router_status(router_port: int) -> str:
     return health["status"]
 
 
-def _boot_replica(model: Path, port: int) -> subprocess.Popen:
-    return _boot(
-        [sys.executable, "-m", "m3d_fault_loc.cli.serve", "--model", str(model),
-         "--port", str(port), "--workers", "2", "--batch-window-ms", "1"],
-        marker="serving on http://",
+def _boot_replica(model: Path, port: int, trace_log: Path | None = None) -> subprocess.Popen:
+    cmd = [sys.executable, "-m", "m3d_fault_loc.cli.serve", "--model", str(model),
+           "--port", str(port), "--workers", "2", "--batch-window-ms", "1"]
+    if trace_log is not None:
+        cmd += ["--trace-log", str(trace_log)]
+    return _boot(cmd, marker="serving on http://")
+
+
+def _run_obs(args: list[str]) -> Any:
+    """Run an ``m3d-obs`` subcommand with ``--format json``; parse stdout."""
+    result = subprocess.run(
+        [sys.executable, "-m", "m3d_fault_loc.obs.cli", *args, "--format", "json"],
+        capture_output=True, text=True, timeout=60,
     )
+    if result.returncode != 0:
+        raise AssertionError(
+            f"m3d-obs {args[0]} exited {result.returncode}: {result.stderr.strip()}"
+        )
+    return json.loads(result.stdout)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -131,15 +151,18 @@ def main(argv: list[str] | None = None) -> int:
 
     port_a, port_b = _free_port(), _free_port()
     router_port = _free_port()
+    trace_dir = Path(tempfile.mkdtemp(prefix="m3d-smoke-traces-"))
+    logs = {name: trace_dir / f"{name}.jsonl" for name in ("router", "replica_a", "replica_b")}
     procs: list[subprocess.Popen] = []
     try:
-        replica_a = _boot_replica(args.model, port_a)
-        replica_b = _boot_replica(args.model, port_b)
+        replica_a = _boot_replica(args.model, port_a, trace_log=logs["replica_a"])
+        replica_b = _boot_replica(args.model, port_b, trace_log=logs["replica_b"])
         procs += [replica_a, replica_b]
         router = _boot(
             [sys.executable, "-m", "m3d_fault_loc.cli.route",
              "--replica", f"127.0.0.1:{port_a}", "--replica", f"127.0.0.1:{port_b}",
              "--port", str(router_port),
+             "--trace-log", str(logs["router"]),
              "--probe-interval-s", "0.2", "--probe-timeout-s", "1.0",
              "--cooldown-s", "0.5", "--eject-after", "2"],
             marker="routing on http://",
@@ -196,6 +219,34 @@ def main(argv: list[str] | None = None) -> int:
         _wait_for(lambda: _router_status(router_port) == "degraded-1-of-2",
                   timeout_s=10.0, label="router health degrades to degraded-1-of-2")
 
+        # Mid-chaos observability: stitch every process's trace log while
+        # one replica is a SIGKILLed corpse, and federate fleet metrics.
+        stitched = _run_obs(["stitch"] + [str(p) for p in logs.values()])
+        _check(bool(stitched), "stitch joins trace logs into at least one waterfall")
+        victim_hops = [
+            hop
+            for request in stitched
+            for hop in request["hops"]
+            if hop["process"] == "replica" and hop["addr"] == victim_key
+        ]
+        _check(bool(victim_hops), "killed replica's flushed hops still stitch")
+        cross_process = [r for r in stitched if len(r["processes"]) >= 2]
+        _check(bool(cross_process), "waterfalls span router + replica processes")
+        failovers = [
+            r for r in stitched
+            if r["missing_attempts"] or len(r["attempts"]) >= 2
+        ]
+        _check(bool(failovers),
+               "kill-window failover is visible (missing hop or multi-attempt)")
+
+        fleet = _run_obs(["fleet", "--router", f"127.0.0.1:{router_port}"])
+        _check(fleet["status"] == "degraded-1-of-2",
+               f"fleet snapshot reports degraded-1-of-2 (got {fleet['status']})")
+        _check(fleet["reachable"] == 1 and fleet["members"] == 2,
+               "fleet snapshot counts 1 of 2 members reachable")
+        merged_requests = fleet["merged"].get("m3d_requests_total", {}).get("value", 0)
+        _check(merged_requests > 0, "fleet merged counters carry survivor traffic")
+
         # Phase 3: recovery — a replacement replica on the same port is
         # readmitted through the half-open probe and serves its keys again.
         replacement = _boot_replica(args.model, port_a)
@@ -225,6 +276,7 @@ def main(argv: list[str] | None = None) -> int:
                 proc.wait(timeout=10)
             except subprocess.TimeoutExpired:
                 proc.kill()
+        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

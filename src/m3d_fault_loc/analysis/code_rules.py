@@ -30,7 +30,13 @@ code rather than general style (which ruff covers):
 - **M3D210** socket/HTTP client constructions without an explicit
   ``timeout`` (escalated to ERROR inside the serving layer: the router and
   health prober must never block forever on a dead replica — an unbounded
-  connect turns one sick backend into a hung router thread).
+  connect turns one sick backend into a hung router thread),
+- **M3D211** ``time.time()`` used to measure a duration (``t1 - t0``
+  subtraction patterns over wall-clock reads) — the wall clock steps under
+  NTP corrections and DST, so elapsed times must come from
+  ``time.monotonic()``/``time.perf_counter()`` (escalated to ERROR inside
+  ``serve/`` and ``obs/``, where those durations feed latency metrics,
+  traces, and SLO math).
 """
 
 from __future__ import annotations
@@ -682,6 +688,175 @@ class MissingClientTimeoutRule(CodeRule):
         return aliases
 
 
+class WallClockDurationRule(CodeRule):
+    """``time.time()`` answers "what o'clock is it", not "how long did this
+    take": the wall clock steps backwards/forwards under NTP slew and leap
+    adjustments, so subtracting two wall-clock reads yields durations that
+    can be negative or wildly wrong. Duration measurement must use
+    ``time.monotonic()`` or ``time.perf_counter()``. Flagged patterns: a
+    ``-`` subtraction where both operands are wall-clock values (a direct
+    ``time.time()`` call or a local name assigned from one), or a direct
+    ``time.time()`` call minus any non-constant operand. Subtracting a
+    numeric literal (``time.time() - 300``, a cutoff timestamp) is fine —
+    that is timestamp arithmetic, not elapsed-time measurement. Bare
+    ``time.time()`` reads used as timestamps are never flagged."""
+
+    id = "M3D211"
+    severity = Severity.WARNING
+    description = (
+        "time.time() must not measure durations; use time.monotonic()/"
+        "perf_counter() (ERROR inside serve/ and obs/ code)"
+    )
+
+    _TARGET = ("time", "time")
+
+    def check(self, tree: ast.Module, path: Path) -> list[Violation]:
+        in_hot = "serve" in path.parts or "obs" in path.parts
+        severity = Severity.ERROR if in_hot else Severity.WARNING
+        where = " inside latency-critical code" if in_hot else ""
+        module_aliases = self._module_aliases(tree)
+        name_aliases = self._from_import_aliases(tree)
+        findings: list[Violation] = []
+        for scope in self._scopes(tree):
+            tainted = self._tainted_names(scope, module_aliases, name_aliases)
+            for node in self._scope_walk(scope):
+                if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub)):
+                    continue
+                left = self._time_value(node.left, module_aliases, name_aliases, tainted)
+                right = self._time_value(node.right, module_aliases, name_aliases, tainted)
+                if left is None and right is None:
+                    continue
+                # A numeric-literal operand is cutoff/timestamp arithmetic
+                # (e.g. ``time.time() - 3600``), not a duration.
+                other = node.right if left is not None else node.left
+                if isinstance(other, ast.Constant) and isinstance(other.value, (int, float)):
+                    continue
+                # Flag when both sides are wall-clock values, or when one
+                # side is a *direct* time.time() call (t - time.time() is a
+                # duration however t was made).
+                if not (
+                    (left is not None and right is not None)
+                    or left == "call"
+                    or right == "call"
+                ):
+                    continue
+                findings.append(
+                    self.violation(
+                        "duration measured by subtracting time.time() values"
+                        f"{where}; the wall clock steps under NTP — use "
+                        "time.monotonic() or time.perf_counter() for elapsed time",
+                        path,
+                        node.lineno,
+                        severity,
+                    )
+                )
+        return findings
+
+    # -- scope handling ----------------------------------------------------
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> list[ast.AST]:
+        return [tree] + [
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    @staticmethod
+    def _scope_walk(scope: ast.AST):
+        """Walk a scope's nodes without descending into nested functions."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _tainted_names(
+        self,
+        scope: ast.AST,
+        module_aliases: dict[str, tuple[str, ...]],
+        name_aliases: set[str],
+    ) -> set[str]:
+        """Local names assigned directly from a wall-clock read."""
+        tainted: set[str] = set()
+        for node in self._scope_walk(scope):
+            value: ast.AST | None = None
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            elif isinstance(node, ast.NamedExpr):
+                value, targets = node.value, [node.target]
+            if value is None or not self._is_wallclock_call(
+                value, module_aliases, name_aliases
+            ):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    tainted.add(target.id)
+        return tainted
+
+    # -- wall-clock detection ----------------------------------------------
+
+    def _time_value(
+        self,
+        node: ast.AST,
+        module_aliases: dict[str, tuple[str, ...]],
+        name_aliases: set[str],
+        tainted: set[str],
+    ) -> str | None:
+        """``"call"`` for a direct time.time() call, ``"name"`` for a
+        tainted local, ``None`` otherwise."""
+        if self._is_wallclock_call(node, module_aliases, name_aliases):
+            return "call"
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return "name"
+        return None
+
+    def _is_wallclock_call(
+        self,
+        node: ast.AST,
+        module_aliases: dict[str, tuple[str, ...]],
+        name_aliases: set[str],
+    ) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = _dotted_name(node.func)
+        if not dotted:
+            return False
+        if len(dotted) == 1:
+            return dotted[0] in name_aliases
+        expanded = module_aliases.get(dotted[0], (dotted[0],)) + dotted[1:]
+        return expanded == self._TARGET
+
+    @staticmethod
+    def _module_aliases(tree: ast.Module) -> dict[str, tuple[str, ...]]:
+        """``import time as t`` → ``{"t": ("time",)}``."""
+        aliases: dict[str, tuple[str, ...]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    local = a.asname or a.name.split(".")[0]
+                    canonical = tuple(a.name.split(".")) if a.asname else (local,)
+                    aliases[local] = canonical
+        return aliases
+
+    @staticmethod
+    def _from_import_aliases(tree: ast.Module) -> set[str]:
+        """``from time import time [as now]`` → the local callable names."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for a in node.names:
+                    if a.name == "time":
+                        names.add(a.asname or a.name)
+        return names
+
+
 #: Full built-in catalog, in rule-id order.
 BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     MixedDeviceTransferRule,
@@ -694,6 +869,7 @@ BUILTIN_CODE_RULES: tuple[type[CodeRule], ...] = (
     SparseBlockDiagRule,
     ScenarioRngDisciplineRule,
     MissingClientTimeoutRule,
+    WallClockDurationRule,
 )
 
 

@@ -27,6 +27,7 @@ from m3d_fault_loc.graph.schema import CircuitGraph
 from m3d_fault_loc.model.aggregate import build_in_neighbor_mean
 from m3d_fault_loc.model.localizer import DelayFaultLocalizer
 from m3d_fault_loc.model.optim import Adam
+from m3d_fault_loc.obs.profile import PhaseProfiler, phase
 from m3d_fault_loc.scenarios import ScenarioSpec, registered_scenarios
 from m3d_fault_loc.serve.cache import LRUResultCache, graph_digest
 from m3d_fault_loc.serve.service import LocalizationService
@@ -307,6 +308,36 @@ def _case_train_epoch(workload: Workload, ctx: BenchContext) -> PreparedCase:
     return fn, meta, None
 
 
+def _case_train_epoch_profiled(workload: Workload, ctx: BenchContext) -> PreparedCase:
+    """The same epoch with an active :class:`PhaseProfiler`: measures the
+    enabled-path overhead of the ``m3d-train --profile`` phase brackets
+    (forward/backward inside ``loss_and_grads``, plus optimizer_step here)
+    against the plain ``train_epoch`` case."""
+    model = ctx.make_model()
+    optimizer = Adam(model.params, lr=1e-3)
+    graphs = workload.graphs
+    profiler = PhaseProfiler()
+
+    def fn() -> float:
+        total_loss = 0.0
+        with profiler:
+            for start in range(0, len(graphs), ctx.batch_size):
+                batch = graphs[start : start + ctx.batch_size]
+                grads = {k: np.zeros_like(v) for k, v in model.params.items()}
+                for graph in batch:
+                    loss, g = model.loss_and_grads(graph)
+                    total_loss += loss
+                    for k in grads:
+                        grads[k] += g[k] / len(batch)
+                with phase("optimizer_step"):
+                    optimizer.step(grads)
+        profiler.drain()
+        return total_loss
+
+    meta = {"graphs_per_call": len(graphs), "batch_size": ctx.batch_size}
+    return fn, meta, None
+
+
 #: Case catalog in report order. Keys are the public case names.
 CASES: dict[str, Callable[[Workload, BenchContext], PreparedCase]] = {
     "graph_build": _case_graph_build,
@@ -317,6 +348,7 @@ CASES: dict[str, Callable[[Workload, BenchContext], PreparedCase]] = {
     "node_scores_batch": _case_node_scores_batch,
     "node_scores_batch_legacy": _case_node_scores_batch_legacy,
     "train_epoch": _case_train_epoch,
+    "train_epoch_profiled": _case_train_epoch_profiled,
     "scenario_generate": _case_scenario_generate,
     "e2e_localize": _case_e2e_localize,
     "e2e_localize_pool": _case_e2e_localize_pool,
@@ -331,6 +363,7 @@ CASE_DESCRIPTIONS: dict[str, str] = {
     "node_scores_batch": "batched forward, cached operators + segment-offset stacking",
     "node_scores_batch_legacy": "pre-PR batched forward: block_diag rebuild every call",
     "train_epoch": "one m3d-train epoch: loss_and_grads + Adam over the workload",
+    "train_epoch_profiled": "same epoch with the phase profiler active (bracket overhead)",
     "scenario_generate": "tiny seeded dataset from every registered scenario generator",
     "e2e_localize": "end-to-end localize() under concurrent client threads",
     "e2e_localize_pool": "e2e localize() against the sharded 4-worker pool, 2x clients",

@@ -10,8 +10,10 @@ caches already hold them); a failed replica is retried on the next in
 preference order under the idempotency and deadline rules documented in
 :mod:`m3d_fault_loc.serve.router`, ejected after consecutive failures, and
 readmitted through a half-open health probe. Router-own endpoints live
-under ``/router/`` (``/router/healthz``, ``/router/metrics``); everything
-else is proxied.
+under ``/router/`` (``/router/healthz``, ``/router/metrics``, and the
+federated ``/router/fleet`` snapshot); everything else is proxied.
+``--trace-log`` appends one ``route`` trace per proxied request (tagged
+``process=router``) for ``m3d-obs stitch`` to join with replica logs.
 
 ``SIGTERM``/``SIGINT`` starts the drain cascade's front half: admission
 stops (new requests get a structured 503), the accept loop stops, in-flight
@@ -30,9 +32,11 @@ import argparse
 import signal
 import sys
 import threading
+from pathlib import Path
 from types import FrameType
 
 from m3d_fault_loc.obs.logging import configure_json_logging
+from m3d_fault_loc.obs.trace import JsonlTraceExporter, Tracer
 from m3d_fault_loc.serve.resilience import ExponentialBackoff
 from m3d_fault_loc.serve.router import (
     ReplicaRouter,
@@ -69,10 +73,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--log-level", default="info",
                         choices=("debug", "info", "warning", "error"),
                         help="structured-log threshold (JSON lines on stderr)")
+    parser.add_argument("--trace-log", type=Path, default=None,
+                        help="append completed route traces to this JSONL file")
+    parser.add_argument("--slow-ms", type=float, default=None,
+                        help="routes slower than this land in the slow-trace ring")
+    parser.add_argument("--trace-capacity", type=int, default=256,
+                        help="completed route traces kept in memory")
     return parser
 
 
-def build_router(args: argparse.Namespace) -> ReplicaRouter:
+def build_tracer(args: argparse.Namespace) -> Tracer:
+    """Router-side tracer tagged for cross-process stitching."""
+    exporter = None if args.trace_log is None else JsonlTraceExporter(args.trace_log)
+    slow_s = None if args.slow_ms is None else args.slow_ms / 1e3
+    return Tracer(
+        capacity=args.trace_capacity,
+        exporter=exporter,
+        slow_threshold_s=slow_s,
+        tags={"process": "router"},
+    )
+
+
+def build_router(args: argparse.Namespace, tracer: Tracer | None = None) -> ReplicaRouter:
     replicas = [parse_replica_spec(spec) for spec in args.replica]
     policy = RouterPolicy(
         attempt_timeout_s=args.attempt_timeout_s,
@@ -84,7 +106,7 @@ def build_router(args: argparse.Namespace) -> ReplicaRouter:
         backoff=ExponentialBackoff(base_s=0.02, max_s=0.5),
         default_deadline_s=args.default_deadline_s,
     )
-    return ReplicaRouter(replicas, policy=policy)
+    return ReplicaRouter(replicas, policy=policy, tracer=tracer)
 
 
 def drain_and_stop(
@@ -123,8 +145,9 @@ def install_signal_handlers(
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_json_logging(stream=sys.stderr, level=args.log_level.upper())
+    tracer = build_tracer(args)
     try:
-        router = build_router(args)
+        router = build_router(args, tracer=tracer)
     except ValueError as exc:
         print(f"bad replica spec: {exc}", file=sys.stderr)
         return 2
@@ -139,6 +162,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         server.server_close()
         router.close()
+        if tracer.exporter is not None:
+            tracer.exporter.close()
     print("drained; exiting", flush=True)
     return 0
 

@@ -164,6 +164,9 @@ def main(argv: list[str] | None = None) -> int:
     server = create_server(
         service, host=args.host, port=args.port, max_body_bytes=args.max_body_bytes
     )
+    # Identity tags for cross-process stitching; the bound port is only
+    # known here (``--port 0`` resolves at bind time).
+    tracer.tags.update({"process": "replica", "addr": f"{args.host}:{server.port}"})
     install_signal_handlers(server, service, args.drain_deadline_s)
     info = service.describe_model()
     print(f"model: {info['name']}/{info['version']} (sha256 {info['sha256'][:12]}…)", flush=True)

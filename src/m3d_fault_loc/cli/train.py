@@ -15,6 +15,9 @@ run before the first epoch rather than after it.
 ``--metrics-log runs/train.jsonl`` appends one JSONL record per epoch
 (loss, pre-clip gradient norm, learning rate, wall time) plus a final record
 with the held-out accuracy — the stream ``m3d-obs train`` summarizes.
+``--profile`` adds per-epoch per-phase ``profile`` rows (data_gen / forward /
+backward / optimizer_step / eval wall time; ``--profile-memory`` adds
+tracemalloc allocation peaks) to the same stream.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
@@ -34,6 +38,7 @@ from m3d_fault_loc.model.optim import (
     clip_by_global_norm,
     global_grad_norm,
 )
+from m3d_fault_loc.obs.profile import PhaseProfiler, phase
 from m3d_fault_loc.obs.telemetry import TelemetryWriter
 from m3d_fault_loc.scenarios import (
     DEFAULT_SCENARIO,
@@ -65,6 +70,7 @@ def train(
     log=print,
     telemetry: TelemetryWriter | None = None,
     scenario: str | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> DelayFaultLocalizer:
     """Full-batch-per-graph training with minibatch gradient accumulation.
 
@@ -74,53 +80,63 @@ def train(
     accumulated minibatch gradient to that global L2 norm before the
     optimizer step. ``telemetry`` (optional) receives one ``epoch`` event
     per epoch: mean loss, max pre-clip gradient norm, lr, wall time —
-    tagged with ``scenario`` when one is named.
+    tagged with ``scenario`` when one is named. ``profiler`` (optional,
+    ``--profile``) is drained once per epoch into per-phase ``profile``
+    telemetry rows (data_gen / forward / backward / optimizer_step / eval).
     """
     model = DelayFaultLocalizer(hidden=hidden, seed=seed)
     optimizer = Adam(model.params, lr=lr)
-    for epoch in range(epochs):
-        epoch_t0 = time.perf_counter()
-        order = rng.permutation(len(dataset))
-        total_loss = 0.0
-        max_norm = 0.0
-        for start in range(0, len(order), batch_size):
-            batch = order[start : start + batch_size]
-            grads = {k: np.zeros_like(v) for k, v in model.params.items()}
-            for i in batch:
-                loss, g = model.loss_and_grads(dataset[int(i)])
-                if not np.isfinite(loss):
-                    raise NonFiniteLossError(
-                        f"non-finite loss {loss!r} at epoch {epoch}, graph index {int(i)} "
-                        f"({dataset[int(i)].name}); lower --lr or pass --clip-norm"
-                    )
-                total_loss += loss
-                for k in grads:
-                    grads[k] += g[k] / len(batch)
-            if clip_norm is not None:
-                norm = clip_by_global_norm(grads, clip_norm)
-            elif telemetry is not None:
-                norm = global_grad_norm(grads)
-            else:
-                norm = 0.0
-            max_norm = max(max_norm, norm)
-            optimizer.step(grads)
-        if telemetry is not None:
-            tagged = {} if scenario is None else {"scenario": scenario}
-            telemetry.emit(
-                "epoch",
-                epoch=epoch,
-                loss=round(total_loss / max(len(dataset), 1), 6),
-                grad_norm=round(max_norm, 6),
-                lr=lr,
-                wall_s=round(time.perf_counter() - epoch_t0, 6),
-                **tagged,
-            )
-        if log is not None and (epoch == epochs - 1 or epoch % 5 == 0):
-            acc = localization_accuracy(model, dataset)
-            log(
-                f"epoch {epoch:3d}  loss {total_loss / max(len(dataset), 1):.4f}  "
-                f"train-acc {acc:.3f}"
-            )
+    with profiler if profiler is not None else nullcontext():
+        for epoch in range(epochs):
+            epoch_t0 = time.perf_counter()
+            order = rng.permutation(len(dataset))
+            total_loss = 0.0
+            max_norm = 0.0
+            for start in range(0, len(order), batch_size):
+                batch = order[start : start + batch_size]
+                grads = {k: np.zeros_like(v) for k, v in model.params.items()}
+                for i in batch:
+                    with phase("data_gen"):
+                        graph = dataset[int(i)]
+                    loss, g = model.loss_and_grads(graph)
+                    if not np.isfinite(loss):
+                        raise NonFiniteLossError(
+                            f"non-finite loss {loss!r} at epoch {epoch}, graph index "
+                            f"{int(i)} ({graph.name}); lower --lr or pass --clip-norm"
+                        )
+                    total_loss += loss
+                    for k in grads:
+                        grads[k] += g[k] / len(batch)
+                with phase("optimizer_step"):
+                    if clip_norm is not None:
+                        norm = clip_by_global_norm(grads, clip_norm)
+                    elif telemetry is not None:
+                        norm = global_grad_norm(grads)
+                    else:
+                        norm = 0.0
+                    max_norm = max(max_norm, norm)
+                    optimizer.step(grads)
+            if telemetry is not None:
+                tagged = {} if scenario is None else {"scenario": scenario}
+                telemetry.emit(
+                    "epoch",
+                    epoch=epoch,
+                    loss=round(total_loss / max(len(dataset), 1), 6),
+                    grad_norm=round(max_norm, 6),
+                    lr=lr,
+                    wall_s=round(time.perf_counter() - epoch_t0, 6),
+                    **tagged,
+                )
+            if log is not None and (epoch == epochs - 1 or epoch % 5 == 0):
+                with phase("eval"):
+                    acc = localization_accuracy(model, dataset)
+                log(
+                    f"epoch {epoch:3d}  loss {total_loss / max(len(dataset), 1):.4f}  "
+                    f"train-acc {acc:.3f}"
+                )
+            if profiler is not None and telemetry is not None:
+                for name, row in profiler.drain().items():
+                    telemetry.emit("profile", epoch=epoch, phase=name, **row)
     return model
 
 
@@ -154,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", type=Path, default=Path("localizer.npz"))
     parser.add_argument("--metrics-log", type=Path, default=None,
                         help="append per-epoch telemetry (JSONL) for m3d-obs train")
+    parser.add_argument("--profile", action="store_true",
+                        help="per-epoch phase profiling (data_gen/forward/backward/"
+                             "optimizer_step/eval) emitted as profile telemetry rows")
+    parser.add_argument("--profile-memory", action="store_true",
+                        help="also track per-phase allocation high-water via "
+                             "tracemalloc (implies --profile; slows the loop)")
     return parser
 
 
@@ -187,6 +209,11 @@ def main(argv: list[str] | None = None) -> int:
     train_set, test_set = dataset.split(rng, test_fraction=args.test_fraction)
     print(f"training on {len(train_set)} graphs, holding out {len(test_set)}")
     telemetry = None if args.metrics_log is None else TelemetryWriter(args.metrics_log)
+    profiler = (
+        PhaseProfiler(memory=args.profile_memory)
+        if (args.profile or args.profile_memory)
+        else None
+    )
     try:
         model = train(
             train_set,
@@ -199,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
             clip_norm=args.clip_norm,
             telemetry=telemetry,
             scenario=scenario.name,
+            profiler=profiler,
         )
     except NonFiniteLossError as exc:
         print(f"training aborted: {exc}", file=sys.stderr)

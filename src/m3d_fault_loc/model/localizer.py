@@ -24,6 +24,7 @@ import scipy.sparse as sp
 
 from m3d_fault_loc.graph.schema import FEATURE_COLUMNS, CircuitGraph
 from m3d_fault_loc.model.aggregate import AggregationOperatorCache, build_in_neighbor_mean
+from m3d_fault_loc.obs.profile import phase
 
 #: Compute dtypes selectable via the ``precision`` knob.
 PRECISIONS = ("float64", "float32")
@@ -220,30 +221,34 @@ class DelayFaultLocalizer:
         if graph.fault_index is None:
             raise ValueError(f"graph {graph.name!r} has no fault label")
         p = self.params
-        logits, (x, m, mx, a1, h1, mh1, a2, h2) = self._forward(graph)
+        # The phase() brackets are free when no profiler is active (shared
+        # null context manager), so they live here unconditionally.
+        with phase("forward"):
+            logits, (x, m, mx, a1, h1, mh1, a2, h2) = self._forward(graph)
 
-        z = logits - logits.max()
-        expz = np.exp(z)
-        probs = expz / expz.sum()
-        loss = -float(np.log(max(probs[graph.fault_index], 1e-12)))
+        with phase("backward"):
+            z = logits - logits.max()
+            expz = np.exp(z)
+            probs = expz / expz.sum()
+            loss = -float(np.log(max(probs[graph.fault_index], 1e-12)))
 
-        dz = probs.copy()
-        dz[graph.fault_index] -= 1.0
-        dz = dz.reshape(-1, 1)  # (N, 1)
+            dz = probs.copy()
+            dz[graph.fault_index] -= 1.0
+            dz = dz.reshape(-1, 1)  # (N, 1)
 
-        grads: dict[str, np.ndarray] = {}
-        grads["w3"] = h2.T @ dz
-        grads["b3"] = dz.sum(axis=0)
-        dh2 = dz @ p["w3"].T
-        da2 = dh2 * (a2 > 0)
-        grads["W2s"] = h1.T @ da2
-        grads["W2n"] = mh1.T @ da2
-        grads["b2"] = da2.sum(axis=0)
-        dh1 = da2 @ p["W2s"].T + m.T @ (da2 @ p["W2n"].T)
-        da1 = dh1 * (a1 > 0)
-        grads["W1s"] = x.T @ da1
-        grads["W1n"] = mx.T @ da1
-        grads["b1"] = da1.sum(axis=0)
+            grads: dict[str, np.ndarray] = {}
+            grads["w3"] = h2.T @ dz
+            grads["b3"] = dz.sum(axis=0)
+            dh2 = dz @ p["w3"].T
+            da2 = dh2 * (a2 > 0)
+            grads["W2s"] = h1.T @ da2
+            grads["W2n"] = mh1.T @ da2
+            grads["b2"] = da2.sum(axis=0)
+            dh1 = da2 @ p["W2s"].T + m.T @ (da2 @ p["W2n"].T)
+            da1 = dh1 * (a1 > 0)
+            grads["W1s"] = x.T @ da1
+            grads["W1n"] = mx.T @ da1
+            grads["b1"] = da1.sum(axis=0)
         return loss, grads
 
     # -- persistence ------------------------------------------------------

@@ -5,11 +5,19 @@ Subcommands:
 - ``m3d-obs trace TRACE.jsonl [--top N] [--format json]`` — per-stage
   latency percentiles (p50/p95/p99/max), status counts, and the slowest
   requests from a ``--trace-log`` file written by the serving tracer.
-- ``m3d-obs train METRICS.jsonl [--format json]`` — loss / grad-norm /
-  epoch-wall-time trajectory and final held-out accuracy from a
-  ``--metrics-log`` file written by ``m3d-train`` / ``m3d-evaluate``.
+- ``m3d-obs train METRICS.jsonl [--format json]`` (alias: ``summarize``) —
+  loss / grad-norm / epoch-wall-time trajectory, final held-out accuracy,
+  and the per-phase profiler table (``m3d-train --profile``) from a
+  ``--metrics-log`` file.
+- ``m3d-obs stitch ROUTER.jsonl REPLICA.jsonl ... [--slow-ms N]
+  [--include-probes] [--format json]`` — join router + replica trace logs
+  into per-request cross-process waterfalls (hop order from the router's
+  attempt metadata; killed replicas show as missing attempts).
+- ``m3d-obs fleet --router HOST:PORT | --replica HOST:PORT ...`` — merged
+  fleet metrics snapshot with per-replica breakdown and SLO section, either
+  fetched from a router's ``/router/fleet`` or scraped directly.
 
-Exit codes: 0 ok, 2 unreadable or empty input.
+Exit codes: 0 ok, 2 unreadable/empty input or unreachable fleet.
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ import sys
 from pathlib import Path
 from typing import Any
 
+from m3d_fault_loc.obs.fleet import FleetScraper, fetch_json, render_fleet_text
+from m3d_fault_loc.obs.stitch import render_stitched_text, stitch_files
 from m3d_fault_loc.obs.telemetry import read_jsonl, summarize_traces, summarize_training
 
 
@@ -73,6 +83,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_profile_table(profile: dict[str, dict[str, Any]]) -> None:
+    has_memory = any("peak_kb" in row for row in profile.values())
+    header = f"{'phase':<16} {'wall_s':>10} {'share':>7} {'calls':>8}"
+    if has_memory:
+        header += f" {'peak_kb':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, row in profile.items():
+        line = f"{name:<16} {row['wall_s']:>10.4f} {row['share']:>6.1%} {row['calls']:>8}"
+        if has_memory:
+            peak = row.get("peak_kb")
+            line += f" {peak:>10.1f}" if peak is not None else f" {'-':>10}"
+        print(line)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     records = _load(args.path)
     if records is None:
@@ -94,6 +119,53 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(f"final: {summary['final']}")
     for ev in summary.get("evals", ()):
         print(f"eval: {ev}")
+    if "profile" in summary:
+        print()
+        _print_profile_table(summary["profile"])
+    return 0
+
+
+def _cmd_stitch(args: argparse.Namespace) -> int:
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"m3d-obs: no such file: {path}", file=sys.stderr)
+        return 2
+    stitched = stitch_files(
+        args.paths, include_probes=args.include_probes, slow_ms=args.slow_ms
+    )
+    if args.trace_id is not None:
+        stitched = [s for s in stitched if s["trace_id"] == args.trace_id]
+    if args.format == "json":
+        print(json.dumps(stitched, indent=2))
+    else:
+        print(render_stitched_text(stitched))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if not args.replica and args.router is None:
+        print("m3d-obs: fleet needs --router and/or --replica", file=sys.stderr)
+        return 2
+    if args.replica:
+        scraper = FleetScraper(
+            members=args.replica,
+            timeout_s=args.timeout_s,
+            availability_objective=args.availability_objective,
+            latency_objective_ms=args.latency_objective_ms,
+            router_addr=args.router,
+        )
+        snapshot = scraper.scrape()
+    else:
+        # No member list: reuse the router's own config via /router/fleet.
+        snapshot = fetch_json(args.router, "/router/fleet", args.timeout_s)
+        if not isinstance(snapshot, dict):
+            print(f"m3d-obs: router unreachable: {args.router}", file=sys.stderr)
+            return 2
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(render_fleet_text(snapshot))
     return 0
 
 
@@ -109,10 +181,42 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--format", choices=("text", "json"), default="text")
     trace.set_defaults(func=_cmd_trace)
 
-    train = sub.add_parser("train", help="summarize a training metrics log (JSONL)")
-    train.add_argument("path", type=Path)
-    train.add_argument("--format", choices=("text", "json"), default="text")
-    train.set_defaults(func=_cmd_train)
+    for name, help_text in (
+        ("train", "summarize a training metrics log (JSONL)"),
+        ("summarize", "alias for train: summarize a training metrics log"),
+    ):
+        train = sub.add_parser(name, help=help_text)
+        train.add_argument("path", type=Path)
+        train.add_argument("--format", choices=("text", "json"), default="text")
+        train.set_defaults(func=_cmd_train)
+
+    stitch = sub.add_parser(
+        "stitch", help="join router + replica trace logs into per-request waterfalls"
+    )
+    stitch.add_argument("paths", nargs="+", type=Path,
+                        help="trace-log JSONL files from any mix of processes")
+    stitch.add_argument("--slow-ms", type=float, default=None,
+                        help="only requests at least this slow end-to-end")
+    stitch.add_argument("--include-probes", action="store_true",
+                        help="keep health-prober traffic (probe-… trace ids)")
+    stitch.add_argument("--trace-id", default=None, help="only this trace id")
+    stitch.add_argument("--format", choices=("text", "json"), default="text")
+    stitch.set_defaults(func=_cmd_stitch)
+
+    fleet = sub.add_parser(
+        "fleet", help="merged fleet metrics snapshot with SLO section"
+    )
+    fleet.add_argument("--router", default=None, metavar="HOST:PORT",
+                       help="router address; without --replica its /router/fleet "
+                            "is fetched directly (reusing its member config)")
+    fleet.add_argument("--replica", action="append", default=[], metavar="HOST:PORT",
+                       help="replica to scrape (repeatable)")
+    fleet.add_argument("--timeout-s", type=float, default=2.0,
+                       help="per-member scrape timeout")
+    fleet.add_argument("--availability-objective", type=float, default=0.99)
+    fleet.add_argument("--latency-objective-ms", type=float, default=250.0)
+    fleet.add_argument("--format", choices=("text", "json"), default="text")
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

@@ -1,0 +1,253 @@
+"""Cross-process trace stitching: router + replica logs → per-request waterfalls.
+
+The router (``m3d-route --trace-log``) emits one ``route`` trace per proxied
+request — route decision, per-attempt upstream call, retry backoff — and
+each replica (``m3d-serve --trace-log``) emits its own ``localize`` trace
+for the same ``X-M3D-Trace-Id`` the router forwarded. Every process stamps
+its traces with identity ``tags`` (``{"process": "router"}`` /
+``{"process": "replica", "addr": "host:port"}``), so joining the files on
+trace id reconstructs the request's fleet-wide story: which replica each
+attempt hit, where the failover happened, and how the replica spent the
+time the router was waiting.
+
+Robustness is the point, not a bonus: trace files are written live by
+independent processes, so the reader tolerates torn trailing lines (via
+:func:`~m3d_fault_loc.obs.telemetry.read_jsonl`), exact-duplicate records
+(shipped twice, or the same file listed twice), hops arriving in any file
+order, and missing hops — a SIGKILLed replica never flushes its last trace,
+so its attempt shows up from the router's side only and is reported under
+``missing_attempts`` instead of breaking the join. Hop ordering uses the
+router's attempt metadata, never cross-process wall clocks, so clock skew
+between hosts cannot reorder a waterfall.
+
+Health-prober traffic carries a stable synthetic ``probe-…`` trace id and
+is filtered out by default (``include_probes`` keeps it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from m3d_fault_loc.obs.telemetry import read_jsonl
+
+#: Trace-id prefix the router's health prober stamps on its synthetic
+#: requests, so probe traffic is distinguishable from user traffic in
+#: replica logs and stitch output.
+PROBE_TRACE_PREFIX = "probe-"
+
+#: Router span stage naming one try against one replica.
+ATTEMPT_STAGE = "upstream_attempt"
+
+
+def read_trace_files(paths: Sequence[Path | str]) -> list[dict[str, Any]]:
+    """All trace records across the given JSONL files, deduplicated.
+
+    Files may interleave arbitrarily (one request's hops can live in any
+    subset of the files, in any order); a torn final line from a crashed or
+    killed writer is skipped; an exact duplicate record — same id, identity
+    tags, start, and duration — is kept once.
+    """
+    records: list[dict[str, Any]] = []
+    seen: set[tuple[Any, ...]] = set()
+    for path in paths:
+        for record in read_jsonl(path):
+            if "trace_id" not in record or "duration_ms" not in record:
+                continue  # telemetry row or foreign JSONL, not a trace
+            key = (
+                str(record["trace_id"]),
+                json.dumps(record.get("tags", {}), sort_keys=True),
+                record.get("name"),
+                record.get("started_at"),
+                record.get("duration_ms"),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            records.append(record)
+    return records
+
+
+def _process_of(record: dict[str, Any]) -> str:
+    return str(record.get("tags", {}).get("process", "replica"))
+
+
+def _attempt_summaries(router_hop: dict[str, Any] | None) -> list[dict[str, Any]]:
+    """Per-attempt summaries from the router hop's ``upstream_attempt`` spans."""
+    if router_hop is None:
+        return []
+    attempts: list[dict[str, Any]] = []
+    for span in router_hop.get("spans", ()):
+        if span.get("stage") != ATTEMPT_STAGE:
+            continue
+        meta = span.get("meta", {})
+        attempts.append(
+            {
+                "attempt": int(meta.get("attempt", len(attempts) + 1)),
+                "replica": meta.get("replica"),
+                "rank": meta.get("rank"),
+                "outcome": meta.get("outcome"),
+                "offset_ms": span.get("offset_ms", 0.0),
+                "duration_ms": span.get("duration_ms", 0.0),
+            }
+        )
+    attempts.sort(key=lambda a: a["attempt"])
+    return attempts
+
+
+def _stitch_one(trace_id: str, hops: list[dict[str, Any]]) -> dict[str, Any]:
+    router_hops = sorted(
+        (h for h in hops if _process_of(h) == "router"),
+        key=lambda h: h.get("started_at", 0.0),
+    )
+    replica_hops = sorted(
+        (h for h in hops if _process_of(h) != "router"),
+        key=lambda h: h.get("started_at", 0.0),
+    )
+    router_hop = router_hops[0] if router_hops else None
+    attempts = _attempt_summaries(router_hop)
+
+    # Match replica hops to router attempts by replica address, in attempt
+    # order — never by cross-process timestamps, which skew. Replica hops
+    # the router never logged (direct traffic, lost router log) stay
+    # unmatched and are ordered by their own start time after the matched.
+    unclaimed = list(attempts)
+    matched: list[tuple[int, dict[str, Any]]] = []
+    unmatched: list[dict[str, Any]] = []
+    for hop in replica_hops:
+        addr = hop.get("tags", {}).get("addr")
+        claim = next((a for a in unclaimed if a["replica"] == addr), None)
+        if claim is None and addr is None and unclaimed:
+            claim = unclaimed[0]  # untagged legacy hop: best-effort order
+        if claim is None:
+            unmatched.append(hop)
+            continue
+        unclaimed.remove(claim)
+        matched.append((claim["attempt"], hop))
+
+    ordered: list[dict[str, Any]] = []
+    if router_hop is not None:
+        ordered.append(_hop_view(router_hop, attempt=None))
+    ordered.extend(extra for extra in (_hop_view(h, attempt=None) for h in router_hops[1:]))
+    for attempt_no, hop in sorted(matched, key=lambda pair: pair[0]):
+        ordered.append(_hop_view(hop, attempt=attempt_no))
+    ordered.extend(_hop_view(h, attempt=None) for h in unmatched)
+
+    matched_attempts = {attempt_no for attempt_no, _ in matched}
+    missing = [a for a in attempts if a["attempt"] not in matched_attempts]
+
+    if router_hop is not None:
+        duration_ms = float(router_hop.get("duration_ms", 0.0))
+        status = str(router_hop.get("status", "unknown"))
+    else:
+        duration_ms = max((float(h.get("duration_ms", 0.0)) for h in hops), default=0.0)
+        bad = [str(h.get("status")) for h in hops if h.get("status") not in ("ok", None)]
+        status = bad[0] if bad else "ok"
+    return {
+        "trace_id": trace_id,
+        "started_at": min((h.get("started_at", 0.0) for h in hops), default=0.0),
+        "duration_ms": duration_ms,
+        "status": status,
+        "hops": ordered,
+        "attempts": attempts,
+        "missing_attempts": missing,
+        "processes": sorted({_process_of(h) for h in hops}),
+    }
+
+
+def _hop_view(record: dict[str, Any], attempt: int | None) -> dict[str, Any]:
+    tags = record.get("tags", {})
+    view = {
+        "process": _process_of(record),
+        "addr": tags.get("addr"),
+        "name": record.get("name"),
+        "status": record.get("status", "unknown"),
+        "started_at": record.get("started_at"),
+        "duration_ms": record.get("duration_ms", 0.0),
+        "meta": record.get("meta", {}),
+        "spans": record.get("spans", []),
+    }
+    if attempt is not None:
+        view["attempt"] = attempt
+    return view
+
+
+def stitch_traces(
+    records: Iterable[dict[str, Any]], include_probes: bool = False
+) -> list[dict[str, Any]]:
+    """Join trace records into per-request waterfalls, oldest first."""
+    by_id: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        trace_id = str(record["trace_id"])
+        if not include_probes and trace_id.startswith(PROBE_TRACE_PREFIX):
+            continue
+        by_id.setdefault(trace_id, []).append(record)
+    stitched = [_stitch_one(trace_id, hops) for trace_id, hops in by_id.items()]
+    stitched.sort(key=lambda s: s["started_at"])
+    return stitched
+
+
+def stitch_files(
+    paths: Sequence[Path | str],
+    include_probes: bool = False,
+    slow_ms: float | None = None,
+) -> list[dict[str, Any]]:
+    """Read, join, and (optionally) filter: the ``m3d-obs stitch`` pipeline."""
+    stitched = stitch_traces(read_trace_files(paths), include_probes=include_probes)
+    if slow_ms is not None:
+        stitched = [s for s in stitched if s["duration_ms"] >= slow_ms]
+    return stitched
+
+
+# -- renderers ----------------------------------------------------------------
+
+
+def _span_line(span: dict[str, Any]) -> str:
+    meta = span.get("meta", {})
+    detail = ""
+    if span.get("stage") == ATTEMPT_STAGE:
+        detail = f"  ({meta.get('attempt')}: {meta.get('replica')} -> {meta.get('outcome')})"
+    elif meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        detail = f"  ({pairs})"
+    return (
+        f"      {span.get('stage', '?'):<20} {float(span.get('duration_ms', 0.0)):>9.3f} ms"
+        f" @ {float(span.get('offset_ms', 0.0)):>8.3f}{detail}"
+    )
+
+
+def render_waterfall_text(stitched: dict[str, Any]) -> str:
+    """One request's cross-process waterfall as indented text."""
+    served = next(
+        (h for h in stitched["hops"] if h["process"] != "router" and "attempt" in h), None
+    )
+    head = (
+        f"trace {stitched['trace_id']}  {len(stitched['hops'])} hops  "
+        f"{stitched['status']}  {stitched['duration_ms']:.3f} ms"
+    )
+    if served is not None:
+        head += f"  served-by {served['addr']} (attempt {served['attempt']})"
+    lines = [head]
+    for hop in stitched["hops"]:
+        where = hop["process"] if hop["addr"] is None else f"{hop['process']} {hop['addr']}"
+        suffix = f"  (attempt {hop['attempt']})" if "attempt" in hop else ""
+        lines.append(
+            f"  [{where}] {hop['name']} {float(hop['duration_ms']):.3f} ms"
+            f"  {hop['status']}{suffix}"
+        )
+        for span in sorted(hop["spans"], key=lambda s: s.get("offset_ms", 0.0)):
+            lines.append(_span_line(span))
+    for gone in stitched["missing_attempts"]:
+        lines.append(
+            f"  ! attempt {gone['attempt']} on {gone['replica']} has no replica-side "
+            f"hop (outcome: {gone['outcome']})"
+        )
+    return "\n".join(lines)
+
+
+def render_stitched_text(stitched_list: Sequence[dict[str, Any]]) -> str:
+    """Waterfalls for every stitched request, blank-line separated."""
+    if not stitched_list:
+        return "no stitched requests"
+    return "\n\n".join(render_waterfall_text(s) for s in stitched_list)

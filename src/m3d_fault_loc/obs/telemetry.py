@@ -148,6 +148,7 @@ def summarize_training(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
     epochs: list[dict[str, Any]] = []
     final: dict[str, Any] | None = None
     evals: list[dict[str, Any]] = []
+    profiles: list[dict[str, Any]] = []
     for record in records:
         event = record.get("event")
         if event == "epoch":
@@ -156,6 +157,8 @@ def summarize_training(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
             final = record
         elif event == "eval":
             evals.append(record)
+        elif event == "profile":
+            profiles.append(record)
     losses = [float(e["loss"]) for e in epochs if "loss" in e]
     walls = [float(e["wall_s"]) for e in epochs if "wall_s" in e]
     norms = [float(e["grad_norm"]) for e in epochs if "grad_norm" in e]
@@ -175,4 +178,30 @@ def summarize_training(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
         summary["evals"] = [
             {k: v for k, v in e.items() if k not in ("ts", "event")} for e in evals
         ]
+    if profiles:
+        summary["profile"] = _summarize_profile(profiles)
     return summary
+
+
+def _summarize_profile(profiles: Sequence[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Aggregate per-epoch ``profile`` rows (``m3d-train --profile``) by phase."""
+    by_phase: dict[str, dict[str, Any]] = {}
+    for row in profiles:
+        name = str(row.get("phase", "?"))
+        agg = by_phase.setdefault(
+            name, {"wall_s": 0.0, "calls": 0, "epochs": 0, "peak_kb": None}
+        )
+        agg["wall_s"] += float(row.get("wall_s", 0.0))
+        agg["calls"] += int(row.get("calls", 0))
+        agg["epochs"] += 1
+        if "peak_kb" in row:
+            peak = float(row["peak_kb"])
+            if agg["peak_kb"] is None or peak > agg["peak_kb"]:
+                agg["peak_kb"] = peak
+    total_wall = sum(agg["wall_s"] for agg in by_phase.values())
+    for agg in by_phase.values():
+        agg["wall_s"] = round(agg["wall_s"], 6)
+        agg["share"] = round(agg["wall_s"] / total_wall, 4) if total_wall > 0 else 0.0
+        if agg["peak_kb"] is None:
+            del agg["peak_kb"]
+    return dict(sorted(by_phase.items(), key=lambda kv: kv[1]["wall_s"], reverse=True))

@@ -162,12 +162,18 @@ class Tracer:
         slow_threshold_s: float | None = None,
         slow_capacity: int = 64,
         enabled: bool = True,
+        tags: dict[str, Any] | None = None,
     ):
         if capacity < 1 or slow_capacity < 1:
             raise ValueError("tracer ring capacities must be >= 1")
         self.enabled = enabled
         self.exporter = exporter
         self.slow_threshold_s = slow_threshold_s
+        #: Process-identity tags stamped on every finished trace (e.g.
+        #: ``{"process": "router"}`` / ``{"process": "replica", "addr": ...}``)
+        #: so cross-process stitching can tell hops apart without relying on
+        #: which file a record came from. Mutable until serving starts.
+        self.tags: dict[str, Any] = dict(tags or {})
         self._lock = threading.Lock()
         self._active: dict[str, _ActiveTrace] = {}
         self._completed: deque[dict[str, Any]] = deque(maxlen=capacity)
@@ -198,15 +204,18 @@ class Tracer:
         duration = time.perf_counter() - active.started_mono
         with active.lock:
             spans = list(active.spans)
+            meta = dict(active.meta)
         finished = {
             "trace_id": trace_id,
             "name": active.name,
             "status": status,
             "started_at": round(active.started_at, 6),
             "duration_ms": round(duration * 1e3, 4),
-            "meta": active.meta,
+            "meta": meta,
             "spans": spans,
         }
+        if self.tags:
+            finished["tags"] = dict(self.tags)
         with self._lock:
             self._completed.append(finished)
             if self.slow_threshold_s is not None and duration >= self.slow_threshold_s:
@@ -271,6 +280,24 @@ class Tracer:
             span["meta"] = meta
         with active.lock:
             active.spans.append(span)
+
+    def annotate(self, trace_id: str, **fields: Any) -> None:
+        """Merge fields into an active trace's meta (late-arriving facts).
+
+        Lets code that only learns an outcome mid-flight — which replica
+        finally served a routed request, which pool shard ran the batch —
+        stamp it on the trace without owning the trace lifecycle.
+        Annotations for unknown/finished traces are dropped silently, same
+        contract as :meth:`record`.
+        """
+        if not self.enabled or not fields:
+            return
+        with self._lock:
+            active = self._active.get(trace_id)
+        if active is None:
+            return
+        with active.lock:
+            active.meta.update(fields)
 
     # -- readers -----------------------------------------------------------
 

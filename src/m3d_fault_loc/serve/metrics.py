@@ -212,6 +212,70 @@ class Histogram:
             buckets["+Inf"] = self._count
             return {"buckets": buckets, "sum": self._sum, "count": self._count}
 
+    def merge(self, other: Histogram) -> None:
+        """Fold ``other``'s observations into this histogram, in place.
+
+        Both histograms must share identical bucket bounds — merging across
+        mismatched bounds would silently misplace counts, so it raises
+        instead. Used by metrics federation to bucket-merge per-replica
+        latency histograms into one fleet histogram whose percentiles stay
+        meaningful.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ ({other.buckets} vs {self.buckets})"
+            )
+        # Snapshot the source first: taking both locks at once would impose
+        # a lock order between arbitrary histogram pairs (M3D304 territory).
+        snap = other.snapshot()
+        per_bucket = self._per_bucket_counts(snap["buckets"], other.buckets)
+        with self._lock:
+            for i, n in enumerate(per_bucket):
+                self._bucket_counts[i] += n
+            self._sum += snap["sum"]
+            self._count += snap["count"]
+
+    @classmethod
+    def from_snapshot(cls, name: str, snap: dict[str, Any], help_text: str = "") -> Histogram:
+        """Rebuild a histogram from a :meth:`snapshot` (or ``/metrics`` JSON).
+
+        Snapshots carry **cumulative** bucket counts; feeding those directly
+        into per-bucket storage would inflate every bucket after the first
+        occupied one (and make leading zero-count buckets look occupied once
+        merged), so they are differenced back to per-bucket counts here —
+        the percentile interpolation then behaves identically to a
+        directly-observed histogram.
+        """
+        bucket_snap = snap.get("buckets") or {}
+        bounds = tuple(float(key) for key in bucket_snap if key != "+Inf")
+        if not bounds:
+            raise ValueError(f"histogram snapshot for {name!r} has no finite buckets")
+        histogram = cls(name, help_text, buckets=bounds)
+        per_bucket = histogram._per_bucket_counts(bucket_snap, bounds)
+        histogram._bucket_counts = per_bucket
+        histogram._sum = float(snap.get("sum", 0.0))
+        histogram._count = int(snap.get("count", 0))
+        return histogram
+
+    @staticmethod
+    def _per_bucket_counts(
+        bucket_snap: dict[str, int], bounds: tuple[float, ...]
+    ) -> list[int]:
+        """Difference a snapshot's cumulative counts into per-bucket counts."""
+        per_bucket: list[int] = []
+        previous = 0
+        for bound in bounds:
+            cumulative = int(bucket_snap[_fmt(bound)])
+            if cumulative < previous:
+                raise ValueError(
+                    f"histogram snapshot is not cumulative at le={_fmt(bound)}: "
+                    f"{cumulative} < {previous}"
+                )
+            per_bucket.append(cumulative - previous)
+            previous = cumulative
+        return per_bucket
+
     def to_json_dict(self) -> dict[str, Any]:
         return {"type": self.kind, "help": self.help_text, **self.snapshot()}
 

@@ -53,7 +53,9 @@ from urllib.parse import urlparse
 
 from m3d_fault_loc.obs.context import current_trace_id, new_trace_id, sanitize_trace_id
 from m3d_fault_loc.obs.context import trace_context as _trace_context
+from m3d_fault_loc.obs.fleet import FleetScraper
 from m3d_fault_loc.obs.logging import get_logger
+from m3d_fault_loc.obs.trace import NULL_TRACER, Tracer
 from m3d_fault_loc.serve.metrics import MetricsRegistry
 from m3d_fault_loc.serve.resilience import Deadline, ExponentialBackoff, jittered
 from m3d_fault_loc.serve.server import TRACE_HEADER
@@ -79,6 +81,11 @@ _FAILOVER_STATUSES = frozenset({500, 502, 503})
 #: POST paths that are pure functions of their payload and therefore safe
 #: to replay on a sibling after an ambiguous post-send failure.
 _IDEMPOTENT_POSTS = frozenset({"/localize"})
+
+#: Trace-id prefix stamped on the background prober's synthetic requests so
+#: probe traffic is distinguishable from user traffic in replica trace logs
+#: and ``m3d-obs stitch`` output (which drops ``probe-…`` ids by default).
+PROBE_TRACE_PREFIX = "probe-"
 
 #: Request headers the router forwards downstream verbatim.
 _FORWARD_REQUEST_HEADERS = ("Content-Type", TRACE_HEADER)
@@ -288,10 +295,12 @@ class ReplicaRouter:
         replicas: list[tuple[str, int]],
         policy: RouterPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         if not replicas:
             raise ValueError("router needs at least one replica")
         self.policy = policy or RouterPolicy()
+        self.tracer = tracer or NULL_TRACER
         self.replicas = [
             Replica(
                 host,
@@ -325,6 +334,13 @@ class ReplicaRouter:
         self.m_inflight = m.gauge("m3d_route_inflight", "proxied requests in flight")
         self.m_replicas_up = m.gauge("m3d_route_replicas_up", "replicas in the up state")
         self.m_replicas_up.set(len(self.replicas))
+        # Federation scraper for GET /router/fleet: the router contributes
+        # its own registry in-process; replicas are polled over HTTP.
+        self.fleet = FleetScraper(
+            members=[r.key for r in self.replicas],
+            timeout_s=self.policy.probe_timeout_s,
+            router_metrics_fn=self.metrics.to_json_dict,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -385,7 +401,10 @@ class ReplicaRouter:
             replica.host, replica.port, timeout=self.policy.probe_timeout_s
         )
         try:
-            conn.request("GET", "/healthz")
+            # A stable synthetic prefix keeps probe traffic distinguishable
+            # from user traffic in replica logs and stitch output.
+            probe_id = f"{PROBE_TRACE_PREFIX}{new_trace_id()}"
+            conn.request("GET", "/healthz", headers={TRACE_HEADER: probe_id})
             response = conn.getresponse()
             response.read()
             # 200 covers ok *and* degraded: a degraded replica still serves.
@@ -449,11 +468,49 @@ class ReplicaRouter:
         last replica 5xx seen, to a 504 when the deadline expires before an
         attempt can be made, or to a structured 502 when every replica is
         unreachable. Nothing is silently dropped.
+
+        When a tracer is attached, each request emits a ``route`` trace
+        (route decision, per-attempt upstream calls, backoff, failover) to
+        the same trace id forwarded downstream, so ``m3d-obs stitch`` can
+        join the router's view with the replicas'.
         """
+        trace_ctx = self.tracer.trace("route", method=method, path=urlparse(path).path)
+        trace_id = getattr(trace_ctx, "trace_id", "")
+        if trace_id and not headers.get(TRACE_HEADER):
+            # Stamp the id the router is tracing under onto the upstream
+            # request, so the replica's trace joins ours in `m3d-obs stitch`
+            # even when the client never sent one.
+            headers = {**headers, TRACE_HEADER: trace_id}
+        with trace_ctx:
+            response = self._dispatch(trace_id, method, path, body, headers)
+            self.tracer.annotate(
+                trace_id,
+                status=response.status,
+                replica=response.replica,
+                attempts=response.attempts,
+            )
+            return response
+
+    def _dispatch(
+        self,
+        trace_id: str,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str],
+    ) -> RoutedResponse:
         self.m_requests.inc()
         deadline = self._deadline_for(headers)
         idempotent = self.is_idempotent(method, path)
+        t0 = time.perf_counter()
         preference = self.ring.preference(self.routing_key(method, path, body))
+        self.tracer.record(
+            trace_id,
+            "route_decision",
+            time.perf_counter() - t0,
+            owner=preference[0],
+            candidates=len(preference),
+        )
         backoff = ExponentialBackoff(
             base_s=self.policy.backoff.base_s,
             factor=self.policy.backoff.factor,
@@ -473,9 +530,24 @@ class ReplicaRouter:
                     continue
                 if attempts > 0:
                     self.m_retries.inc()
-                    time.sleep(jittered(backoff.next_delay()))
+                    delay = jittered(backoff.next_delay())
+                    time.sleep(delay)
+                    self.tracer.record(
+                        trace_id, "retry_backoff", delay, attempt=attempts + 1
+                    )
                 attempts += 1
+                t_attempt = time.perf_counter()
                 kind, result = self._attempt(replica, method, path, body, headers, deadline)
+                outcome = result.status if isinstance(result, RoutedResponse) else kind
+                self.tracer.record(
+                    trace_id,
+                    "upstream_attempt",
+                    time.perf_counter() - t_attempt,
+                    replica=replica.key,
+                    rank=rank,
+                    attempt=attempts,
+                    outcome=outcome,
+                )
                 if kind == "response":
                     assert isinstance(result, RoutedResponse)
                     result.attempts = attempts
@@ -488,6 +560,14 @@ class ReplicaRouter:
                     replica.record_success()
                     if rank > 0:
                         self.m_failovers.inc()
+                        self.tracer.record(
+                            trace_id,
+                            "failover",
+                            0.0,
+                            owner=preference[0],
+                            served_by=replica.key,
+                            rank=rank,
+                        )
                     return result
                 replica.record_failure()
                 log.warning(
@@ -656,6 +736,9 @@ class _RouterHandler(BaseHTTPRequestHandler):
             return
         if path == "/router/metrics":
             self._send_json(200, router.metrics.to_json_dict())
+            return
+        if path == "/router/fleet":
+            self._send_json(200, router.fleet.scrape())
             return
         if router.draining:
             self._send_json(503, {"error": "draining", "detail": "router is draining"})

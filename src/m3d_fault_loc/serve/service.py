@@ -868,6 +868,10 @@ class LocalizationService:
                         parent="await_result",
                         worker=shard.index,
                     )
+                    # Stamp the shard on the trace meta too, so stitched
+                    # waterfalls show which pool worker ran the batch
+                    # without digging through span metadata.
+                    self.tracer.annotate(p.trace_id, worker=shard.index)
                 # Gen-guarded: a worker superseded mid-batch by the watchdog
                 # must not clobber its replacement's in-flight record.
                 with shard.flight_lock:

@@ -322,7 +322,7 @@ class _StubReplicaHandler(BaseHTTPRequestHandler):
 
     def _handle(self, method: str) -> None:
         stub = self.server
-        stub.record(method, self.path)
+        stub.record(method, self.path, self.headers.get("X-M3D-Trace-Id"))
         action = stub.next_action()
         if action == "hang":
             time.sleep(stub.hang_s)
@@ -337,7 +337,10 @@ class _StubReplicaHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length > 0 else b""
         if self.path == "/healthz":
-            self._respond(200, {"status": "ok", "replica": stub.name})
+            self._respond(200, {"status": stub.health_status, "replica": stub.name})
+            return
+        if self.path.startswith("/metrics"):
+            self._respond(200, stub.metrics_payload())
             return
         self._respond(
             200,
@@ -371,6 +374,10 @@ class StubReplica(ThreadingHTTPServer):
     - :attr:`partitioned` — while ``True``, the listener is not accepting:
       :meth:`partition` closes the socket so connects fail fast, and
       :meth:`heal` rebinds on the *same* port.
+
+    For fleet-federation tests, ``/healthz`` reports :attr:`health_status`
+    and ``/metrics`` serves whatever :meth:`set_metrics` installed, so a
+    stub can impersonate a real replica's instrument registry.
     """
 
     daemon_threads = True
@@ -382,8 +389,12 @@ class StubReplica(ThreadingHTTPServer):
         self.host = host
         self.hang_s = hang_s
         self.partitioned = False
+        #: What /healthz reports (fleet tests script degraded replicas).
+        self.health_status = "ok"
+        self._metrics: dict[str, Any] = {}
         self._script: list[str] = []
         self._requests: list[tuple[str, str]] = []
+        self._trace_ids: list[str] = []
         self._served = 0
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -423,6 +434,16 @@ class StubReplica(ThreadingHTTPServer):
         with self._lock:
             self._script.extend(["drop"] * n)
 
+    def set_metrics(self, payload: dict[str, Any]) -> None:
+        """Instrument dict served from ``/metrics`` (the
+        ``/metrics?format=json`` shape: ``{name: {"type", "value"|...}}``)."""
+        with self._lock:
+            self._metrics = dict(payload)
+
+    def metrics_payload(self) -> dict[str, Any]:
+        with self._lock:
+            return dict(self._metrics)
+
     def partition(self) -> None:
         """Refuse connections outright (connect-phase failure) until healed."""
         if not self.partitioned:
@@ -452,9 +473,11 @@ class StubReplica(ThreadingHTTPServer):
         with self._lock:
             return self._script.pop(0) if self._script else "serve"
 
-    def record(self, method: str, path: str) -> None:
+    def record(self, method: str, path: str, trace_id: str | None = None) -> None:
         with self._lock:
             self._requests.append((method, path))
+            if trace_id:
+                self._trace_ids.append(trace_id)
             self._served += 1
 
     def served_count(self) -> int:
@@ -464,6 +487,11 @@ class StubReplica(ThreadingHTTPServer):
     def requests_seen(self) -> list[tuple[str, str]]:
         with self._lock:
             return list(self._requests)
+
+    def trace_ids_seen(self) -> list[str]:
+        """Every X-M3D-Trace-Id header received, in arrival order."""
+        with self._lock:
+            return list(self._trace_ids)
 
 
 def slow_loris(

@@ -529,3 +529,115 @@ def test_serve_sources_pass_the_client_timeout_rule():
     for source_file in sorted((src_root / "serve").rglob("*.py")):
         violations = lint_source(source_file.read_text(), source_file)
         assert not [v for v in violations if v.rule_id == "M3D210"], source_file
+
+
+# -- M3D211 wall-clock duration measurement ---------------------------------
+
+
+def test_time_time_subtraction_of_tainted_names_flagged():
+    src = (
+        "import time\n"
+        "def work():\n"
+        "    t0 = time.time()\n"
+        "    do_work()\n"
+        "    t1 = time.time()\n"
+        "    return t1 - t0\n"
+    )
+    (finding,) = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D211"]
+    assert finding.severity is Severity.WARNING
+    assert "time.monotonic() or time.perf_counter()" in finding.message
+
+
+def test_direct_time_time_call_minus_start_flagged():
+    src = (
+        "import time\n"
+        "def work(started):\n"
+        "    return time.time() - started\n"
+    )
+    assert "M3D211" in fired(src)
+
+
+def test_timestamp_cutoff_arithmetic_not_flagged():
+    src = (
+        "import time\n"
+        "def cutoff():\n"
+        "    return time.time() - 3600\n"
+        "def age_vs_epoch(record):\n"
+        "    return record['ts'] - 300\n"
+    )
+    assert "M3D211" not in fired(src)
+
+
+def test_bare_timestamps_and_unrelated_subtraction_not_flagged():
+    src = (
+        "import time\n"
+        "def stamp(row):\n"
+        "    row['ts'] = time.time()\n"
+        "    return row\n"
+        "def spread(a, b):\n"
+        "    return a - b\n"
+    )
+    assert "M3D211" not in fired(src)
+
+
+def test_monotonic_and_perf_counter_durations_clean():
+    src = (
+        "import time\n"
+        "def work():\n"
+        "    t0 = time.monotonic()\n"
+        "    p0 = time.perf_counter()\n"
+        "    do_work()\n"
+        "    return time.monotonic() - t0, time.perf_counter() - p0\n"
+    )
+    assert "M3D211" not in fired(src)
+
+
+def test_aliased_time_imports_still_flagged():
+    module_alias = (
+        "import time as t\n"
+        "def work():\n"
+        "    start = t.time()\n"
+        "    return t.time() - start\n"
+    )
+    name_alias = (
+        "from time import time as now\n"
+        "def work():\n"
+        "    start = now()\n"
+        "    return now() - start\n"
+    )
+    assert "M3D211" in fired(module_alias)
+    assert "M3D211" in fired(name_alias)
+
+
+def test_wallclock_duration_is_error_inside_serve_and_obs():
+    src = (
+        "import time\n"
+        "def lat():\n"
+        "    t0 = time.time()\n"
+        "    handle()\n"
+        "    return time.time() - t0\n"
+    )
+    for tree in ("serve", "obs"):
+        strict_path = Path(f"src/m3d_fault_loc/{tree}/mod.py")
+        (finding,) = [v for v in lint_source(src, strict_path) if v.rule_id == "M3D211"]
+        assert finding.severity is Severity.ERROR, tree
+    (finding,) = [v for v in lint_source(src, FAKE) if v.rule_id == "M3D211"]
+    assert finding.severity is Severity.WARNING
+
+
+def test_wallclock_duration_suppression_pragma():
+    src = (
+        "import time\n"
+        "def legacy():\n"
+        "    t0 = time.time()\n"
+        "    return time.time() - t0  # m3dlint: disable=M3D211 reason=legacy API\n"
+    )
+    assert "M3D211" not in fired(src)
+
+
+def test_serve_and_obs_sources_pass_the_wallclock_rule():
+    src_root = Path(__file__).resolve().parents[1] / "src" / "m3d_fault_loc"
+    for tree in ("serve", "obs"):
+        for source_file in sorted((src_root / tree).rglob("*.py")):
+            violations = lint_source(source_file.read_text(), source_file)
+            assert not [v for v in violations if v.rule_id == "M3D211"], source_file

@@ -1,0 +1,156 @@
+"""Metrics federation: merge invariants, fleet status, SLO derivation."""
+
+from typing import Any
+
+import pytest
+
+from m3d_fault_loc.obs.fleet import FleetScraper, _fraction_le, render_fleet_text
+from m3d_fault_loc.serve.metrics import MetricsRegistry
+from m3d_fault_loc.testing.chaos import StubReplica
+
+BUCKETS = (0.01, 0.1, 1.0)
+
+
+def metrics_payload(
+    requests: float, errors: float, latencies: list[float] | None = None
+) -> dict[str, Any]:
+    """A realistic ``/metrics?format=json`` payload built by the real registry."""
+    registry = MetricsRegistry()
+    registry.counter("m3d_requests_total", "requests").inc(requests)
+    registry.counter("m3d_request_errors_total", "errors").inc(errors)
+    histogram = registry.histogram(
+        "m3d_request_latency_seconds", "latency", buckets=BUCKETS
+    )
+    for value in latencies or ():
+        histogram.observe(value)
+    registry.state_gauge("m3d_health", "health", states=("ok", "draining"))
+    return registry.to_json_dict()
+
+
+@pytest.fixture
+def two_stubs():
+    a = StubReplica(name="a").start()
+    b = StubReplica(name="b").start()
+    a.set_metrics(metrics_payload(10, 1, [0.005, 0.05, 0.5]))
+    b.set_metrics(metrics_payload(30, 2, [0.05, 0.05, 0.2]))
+    yield a, b
+    for stub in (a, b):
+        try:
+            stub.stop()
+        except OSError:
+            pass
+
+
+def test_merge_metrics_counter_sum_invariant():
+    replicas = [
+        {"replica": "a", "metrics": metrics_payload(10, 1)},
+        {"replica": "b", "metrics": metrics_payload(30, 2)},
+    ]
+    merged = FleetScraper.merge_metrics(replicas)
+    # THE federation invariant: merged counters equal the per-replica sums
+    assert merged["m3d_requests_total"]["value"] == 40
+    assert merged["m3d_request_errors_total"]["value"] == 3
+    assert merged["m3d_health"] == {"type": "state_gauge", "states": {"ok": 2}}
+
+
+def test_merge_metrics_bucket_merges_histograms():
+    replicas = [
+        {"replica": "a", "metrics": metrics_payload(3, 0, [0.005, 0.05, 0.5])},
+        {"replica": "b", "metrics": metrics_payload(3, 0, [0.05, 0.05, 0.2])},
+    ]
+    merged = FleetScraper.merge_metrics(replicas)
+    latency = merged["m3d_request_latency_seconds"]
+    assert latency["count"] == 6
+    assert latency["buckets"]["+Inf"] == 6
+    assert latency["buckets"]["0.01"] == 1
+    assert 0.0 < latency["p50_ms"] <= 1000.0
+    assert latency["p99_ms"] >= latency["p50_ms"]
+
+
+def test_scrape_merged_equals_individual_sums(two_stubs):
+    a, b = two_stubs
+    scraper = FleetScraper(members=[a.key, b.key], timeout_s=2.0)
+    snapshot = scraper.scrape()
+    assert snapshot["status"] == "ok"
+    assert snapshot["reachable"] == 2
+
+    by_addr = {r["replica"]: r for r in snapshot["replicas"]}
+    for name in ("m3d_requests_total", "m3d_request_errors_total"):
+        individual = sum(
+            by_addr[addr]["metrics"][name]["value"] for addr in (a.key, b.key)
+        )
+        assert snapshot["merged"][name]["value"] == individual
+    assert snapshot["merged"]["m3d_request_latency_seconds"]["count"] == 6
+
+
+def test_scrape_reports_degraded_when_member_down(two_stubs):
+    a, b = two_stubs
+    scraper = FleetScraper(members=[a.key, b.key], timeout_s=1.0)
+    b.stop()
+    snapshot = scraper.scrape()
+    assert snapshot["status"] == "degraded-1-of-2"
+    assert snapshot["reachable"] == 1
+    down = next(r for r in snapshot["replicas"] if r["replica"] == b.key)
+    assert down["reachable"] is False
+    assert down["status"] == "unreachable"
+    # merged view carries only the survivor's counters
+    assert snapshot["merged"]["m3d_requests_total"]["value"] == 10
+    assert "DOWN" in render_fleet_text(snapshot)
+
+
+def test_scrape_all_down_is_unhealthy():
+    scraper = FleetScraper(members=["127.0.0.1:9", "127.0.0.1:10"], timeout_s=0.2)
+    assert scraper.scrape()["status"] == "unhealthy"
+    assert FleetScraper(members=[]).scrape()["status"] == "empty"
+
+
+def test_slo_section(two_stubs):
+    a, b = two_stubs
+    scraper = FleetScraper(
+        members=[a.key, b.key],
+        timeout_s=2.0,
+        availability_objective=0.9,
+        latency_objective_ms=100.0,
+    )
+    slo = scraper.scrape()["slo"]
+    # 3 errors / 40 requests on the first scrape
+    assert slo["availability"] == pytest.approx(1.0 - 3 / 40)
+    assert slo["availability_objective"] == 0.9
+    assert slo["burn_rate"] == pytest.approx((3 / 40) / 0.1, abs=1e-3)
+    # 4 of 6 latency samples are <= 100 ms
+    assert slo["latency_attainment"] == pytest.approx(4 / 6, abs=0.1)
+    assert slo["window_points"] == 1
+
+    # the window accumulates across scrapes
+    assert scraper.scrape()["slo"]["window_points"] == 2
+
+
+def test_slo_availability_falls_back_to_reachability():
+    scraper = FleetScraper(members=["127.0.0.1:9"], timeout_s=0.2)
+    slo = scraper.scrape()["slo"]
+    assert slo["availability"] == 0.0  # no counters anywhere, 0/1 reachable
+    assert "latency_attainment" not in slo
+
+
+def test_invalid_objective_rejected():
+    with pytest.raises(ValueError, match="availability objective"):
+        FleetScraper(members=[], availability_objective=1.0)
+
+
+def test_fraction_le_interpolates():
+    snap = {"buckets": {"0.1": 2, "1": 4, "+Inf": 4}, "count": 4}
+    assert _fraction_le(snap, 0.1) == pytest.approx(0.5)
+    assert _fraction_le(snap, 1.0) == pytest.approx(1.0)
+    assert _fraction_le(snap, 0.55) == pytest.approx(0.75)  # halfway into (0.1, 1]
+    assert _fraction_le(snap, 5.0) == pytest.approx(1.0)
+    assert _fraction_le({"buckets": {}, "count": 0}, 0.1) is None
+
+
+def test_render_fleet_text_mentions_slo_and_members(two_stubs):
+    a, b = two_stubs
+    snapshot = FleetScraper(members=[a.key, b.key], timeout_s=2.0).scrape()
+    text = render_fleet_text(snapshot)
+    assert "fleet: ok  (2/2 reachable)" in text
+    assert a.key in text and b.key in text
+    assert "slo: availability=" in text
+    assert "m3d_requests_total: 40" in text

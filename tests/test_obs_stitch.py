@@ -1,0 +1,201 @@
+"""Cross-process trace stitching: joins, robustness to torn/duplicated logs."""
+
+import json
+from pathlib import Path
+from typing import Any
+
+from m3d_fault_loc.obs.stitch import (
+    read_trace_files,
+    render_stitched_text,
+    render_waterfall_text,
+    stitch_files,
+    stitch_traces,
+)
+
+ADDR_A = "127.0.0.1:7001"
+ADDR_B = "127.0.0.1:7002"
+
+
+def router_hop(
+    trace_id: str,
+    attempts: list[tuple[str, str]],
+    status: str = "ok",
+    started_at: float = 100.0,
+    duration_ms: float = 12.0,
+) -> dict[str, Any]:
+    spans: list[dict[str, Any]] = [
+        {"stage": "route_decision", "offset_ms": 0.0, "duration_ms": 0.1,
+         "meta": {"owner": attempts[0][0], "candidates": len(attempts)}},
+    ]
+    for i, (replica, outcome) in enumerate(attempts, start=1):
+        spans.append(
+            {"stage": "upstream_attempt", "offset_ms": float(i), "duration_ms": 5.0,
+             "meta": {"replica": replica, "rank": i - 1, "attempt": i, "outcome": outcome}}
+        )
+    return {
+        "trace_id": trace_id, "name": "route", "status": status,
+        "started_at": started_at, "duration_ms": duration_ms,
+        "meta": {}, "spans": spans, "tags": {"process": "router"},
+    }
+
+
+def replica_hop(
+    trace_id: str,
+    addr: str,
+    started_at: float = 100.0,
+    duration_ms: float = 5.0,
+    status: str = "ok",
+) -> dict[str, Any]:
+    return {
+        "trace_id": trace_id, "name": "localize", "status": status,
+        "started_at": started_at, "duration_ms": duration_ms, "meta": {},
+        "spans": [{"stage": "queue_wait", "offset_ms": 0.0, "duration_ms": 0.5}],
+        "tags": {"process": "replica", "addr": addr},
+    }
+
+
+def write_jsonl(path: Path, records: list[dict[str, Any]], torn_tail: bool = False) -> Path:
+    lines = [json.dumps(r) for r in records]
+    if torn_tail:
+        # a SIGKILLed writer leaves a half-flushed final line
+        lines.append(json.dumps(records[-1])[: 25])
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def test_stitch_joins_router_and_replica_hops():
+    records = [
+        router_hop("req-00000001", [(ADDR_A, 200)]),
+        replica_hop("req-00000001", ADDR_A),
+    ]
+    [stitched] = stitch_traces(records)
+    assert stitched["trace_id"] == "req-00000001"
+    assert stitched["processes"] == ["replica", "router"]
+    assert [h["process"] for h in stitched["hops"]] == ["router", "replica"]
+    assert stitched["hops"][1]["attempt"] == 1
+    assert stitched["attempts"][0]["replica"] == ADDR_A
+    assert stitched["missing_attempts"] == []
+    assert stitched["duration_ms"] == 12.0  # end-to-end time is the router's
+
+
+def test_failover_waterfall_reports_missing_hop():
+    # Attempt 1 hit a replica that died before flushing; attempt 2 succeeded.
+    records = [
+        router_hop("req-00000002", [(ADDR_A, "connect_error"), (ADDR_B, 200)]),
+        replica_hop("req-00000002", ADDR_B),
+    ]
+    [stitched] = stitch_traces(records)
+    assert len(stitched["attempts"]) == 2
+    [gone] = stitched["missing_attempts"]
+    assert gone["attempt"] == 1
+    assert gone["replica"] == ADDR_A
+    assert gone["outcome"] == "connect_error"
+    served = [h for h in stitched["hops"] if h["process"] == "replica"]
+    assert served[0]["addr"] == ADDR_B
+    assert served[0]["attempt"] == 2
+    text = render_waterfall_text(stitched)
+    assert f"! attempt 1 on {ADDR_A} has no replica-side hop" in text
+    assert f"served-by {ADDR_B} (attempt 2)" in text
+
+
+def test_clock_skew_cannot_reorder_hops():
+    # The replica's wall clock runs 1000s "early"; ordering must come from
+    # the router's attempt metadata, never cross-process timestamps.
+    records = [
+        replica_hop("req-00000003", ADDR_A, started_at=-900.0),
+        router_hop("req-00000003", [(ADDR_A, 200)], started_at=100.0),
+    ]
+    [stitched] = stitch_traces(records)
+    assert [h["process"] for h in stitched["hops"]] == ["router", "replica"]
+    assert stitched["hops"][1]["attempt"] == 1
+
+
+# -- multi-file robustness --------------------------------------------------
+
+
+def test_hops_stitch_regardless_of_file_order(tmp_path):
+    router_log = write_jsonl(tmp_path / "router.jsonl",
+                             [router_hop("req-00000004", [(ADDR_A, 200)])])
+    replica_log = write_jsonl(tmp_path / "replica.jsonl",
+                              [replica_hop("req-00000004", ADDR_A)])
+    forward = stitch_files([router_log, replica_log])
+    backward = stitch_files([replica_log, router_log])
+    assert forward == backward
+    assert len(forward[0]["hops"]) == 2
+
+
+def test_torn_final_lines_are_skipped(tmp_path):
+    router_log = write_jsonl(
+        tmp_path / "router.jsonl",
+        [router_hop("req-00000005", [(ADDR_A, 200)])],
+        torn_tail=True,
+    )
+    replica_log = write_jsonl(
+        tmp_path / "replica.jsonl",
+        [replica_hop("req-00000005", ADDR_A)],
+        torn_tail=True,
+    )
+    records = read_trace_files([router_log, replica_log])
+    assert len(records) == 2  # the torn tails vanish, complete lines survive
+    [stitched] = stitch_traces(records)
+    assert stitched["missing_attempts"] == []
+
+
+def test_exact_duplicates_deduped_same_id_different_hops_kept(tmp_path):
+    shared = router_hop("req-00000006", [(ADDR_A, 200)])
+    # the same record shipped in two files counts once ...
+    log_a = write_jsonl(tmp_path / "a.jsonl", [shared, replica_hop("req-00000006", ADDR_A)])
+    log_b = write_jsonl(tmp_path / "b.jsonl", [shared])
+    records = read_trace_files([log_a, log_b])
+    assert len(records) == 2
+    # ... and listing one file twice changes nothing
+    assert len(read_trace_files([log_a, log_a, log_b])) == 2
+    [stitched] = stitch_traces(records)
+    assert len(stitched["hops"]) == 2
+
+
+def test_foreign_jsonl_rows_ignored(tmp_path):
+    log = tmp_path / "mixed.jsonl"
+    rows = [
+        {"ts": 1.0, "event": "epoch", "loss": 0.5},  # telemetry, not a trace
+        router_hop("req-00000007", [(ADDR_A, 200)]),
+    ]
+    write_jsonl(log, rows)
+    records = read_trace_files([log])
+    assert len(records) == 1
+    assert records[0]["trace_id"] == "req-00000007"
+
+
+# -- filtering --------------------------------------------------------------
+
+
+def test_probe_traces_filtered_by_default():
+    records = [
+        replica_hop("probe-abcdef0123456789", ADDR_A),
+        router_hop("req-00000008", [(ADDR_A, 200)]),
+    ]
+    stitched = stitch_traces(records)
+    assert [s["trace_id"] for s in stitched] == ["req-00000008"]
+    kept = stitch_traces(records, include_probes=True)
+    assert {s["trace_id"] for s in kept} == {"probe-abcdef0123456789", "req-00000008"}
+
+
+def test_slow_ms_filter(tmp_path):
+    log = write_jsonl(tmp_path / "router.jsonl", [
+        router_hop("req-00000009", [(ADDR_A, 200)], duration_ms=3.0),
+        router_hop("req-00000010", [(ADDR_A, 200)], duration_ms=80.0, started_at=101.0),
+    ])
+    slow = stitch_files([log], slow_ms=50.0)
+    assert [s["trace_id"] for s in slow] == ["req-00000010"]
+
+
+def test_replica_only_trace_still_renders():
+    # direct (router-less) traffic: no attempts to order by, hop stands alone
+    [stitched] = stitch_traces([replica_hop("req-00000011", ADDR_A, status="error")])
+    assert stitched["status"] == "error"
+    assert stitched["attempts"] == []
+    assert "localize" in render_waterfall_text(stitched)
+
+
+def test_render_stitched_text_empty():
+    assert render_stitched_text([]) == "no stitched requests"

@@ -116,3 +116,81 @@ def test_obs_cli_missing_or_empty_file_exits_2(tmp_path, capsys):
     empty.write_text("\n")
     assert obs_main(["train", str(empty)]) == 2
     assert "m3d-obs" in capsys.readouterr().err
+
+
+def test_summarize_training_aggregates_profile_rows():
+    records = [
+        {"event": "epoch", "epoch": 0, "loss": 2.0, "wall_s": 0.5},
+        {"event": "profile", "epoch": 0, "phase": "forward", "wall_s": 0.3, "calls": 30},
+        {"event": "profile", "epoch": 0, "phase": "data_gen", "wall_s": 0.1,
+         "calls": 30, "peak_kb": 128.0},
+        {"event": "profile", "epoch": 1, "phase": "forward", "wall_s": 0.5, "calls": 30},
+        {"event": "profile", "epoch": 1, "phase": "data_gen", "wall_s": 0.1,
+         "calls": 30, "peak_kb": 512.0},
+    ]
+    profile = summarize_training(records)["profile"]
+    assert list(profile) == ["forward", "data_gen"]  # sorted by wall_s, descending
+    assert profile["forward"]["wall_s"] == 0.8
+    assert profile["forward"]["calls"] == 60
+    assert profile["forward"]["epochs"] == 2
+    assert profile["forward"]["share"] == 0.8
+    assert "peak_kb" not in profile["forward"]  # memory flag was off for it
+    assert profile["data_gen"]["peak_kb"] == 512.0  # max across epochs
+
+
+def test_summarize_training_without_profile_rows_has_no_section():
+    summary = summarize_training(
+        [{"event": "epoch", "epoch": 0, "loss": 2.0, "wall_s": 0.5}]
+    )
+    assert "profile" not in summary
+
+
+def test_obs_cli_train_renders_profile_table(tmp_path, capsys):
+    path = tmp_path / "train.jsonl"
+    with TelemetryWriter(path) as writer:
+        writer.emit("epoch", epoch=0, loss=2.0, wall_s=0.1, grad_norm=1.0, lr=0.01)
+        writer.emit("profile", epoch=0, phase="forward", wall_s=0.08, calls=10)
+        writer.emit("profile", epoch=0, phase="data_gen", wall_s=0.02, calls=10,
+                    peak_kb=64.0)
+    assert obs_main(["train", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "forward" in out and "peak_kb" in out
+    # the summarize alias renders the identical report
+    assert obs_main(["summarize", str(path)]) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_obs_cli_stitch_text_json_and_missing_file(tmp_path, capsys):
+    log = tmp_path / "router.jsonl"
+    record = {
+        "trace_id": "req-deadbeef", "name": "route", "status": "ok",
+        "started_at": 10.0, "duration_ms": 4.0, "meta": {},
+        "spans": [{"stage": "upstream_attempt", "offset_ms": 0.1, "duration_ms": 3.0,
+                   "meta": {"replica": "127.0.0.1:7001", "rank": 0, "attempt": 1,
+                            "outcome": 200}}],
+        "tags": {"process": "router"},
+    }
+    log.write_text(json.dumps(record) + "\n")
+
+    assert obs_main(["stitch", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "trace req-deadbeef" in out and "[router]" in out
+
+    assert obs_main(["stitch", str(log), "--format", "json"]) == 0
+    [stitched] = json.loads(capsys.readouterr().out)
+    assert stitched["trace_id"] == "req-deadbeef"
+    assert stitched["attempts"][0]["replica"] == "127.0.0.1:7001"
+
+    assert obs_main(["stitch", str(log), "--trace-id", "req-other"]) == 0
+    assert "no stitched requests" in capsys.readouterr().out
+
+    assert obs_main(["stitch", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_obs_cli_fleet_requires_targets_and_reports_unreachable(capsys):
+    assert obs_main(["fleet"]) == 2
+    assert "--router and/or --replica" in capsys.readouterr().err
+    # an unreachable router (reserved port, nothing listening) exits 2
+    assert obs_main(["fleet", "--router", "127.0.0.1:9", "--timeout-s", "0.2"]) == 2
+    assert "unreachable" in capsys.readouterr().err

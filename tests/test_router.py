@@ -347,3 +347,212 @@ def test_drain_rejects_new_requests_with_structured_503(http_router):
     assert json.loads(body)["status"] == "draining"
     router.await_drain(1.0)
     assert router.m_inflight.value == 0
+
+
+# -- tracing, probes, and the fleet endpoint ---------------------------------
+
+
+def test_dispatch_emits_route_trace_with_attempt_spans(two_replicas):
+    from m3d_fault_loc.obs.trace import Tracer
+
+    tracer = Tracer(tags={"process": "router"})
+    router = ReplicaRouter(
+        [("127.0.0.1", s.port) for s in two_replicas],
+        policy=fast_policy(),
+        tracer=tracer,
+    )
+    response = router.dispatch("POST", "/localize", b'{"graph": "trace-me"}', {})
+    assert response.status == 200
+    [trace] = tracer.recent(1)
+    assert trace["name"] == "route"
+    assert trace["tags"] == {"process": "router"}
+    assert trace["meta"]["status"] == 200
+    assert trace["meta"]["attempts"] == 1
+    stages = [s["stage"] for s in trace["spans"]]
+    assert "route_decision" in stages
+    [attempt] = [s for s in trace["spans"] if s["stage"] == "upstream_attempt"]
+    assert attempt["meta"]["replica"] == response.replica
+    assert attempt["meta"]["outcome"] == 200
+    assert attempt["meta"]["attempt"] == 1
+    router.close()
+
+
+def test_failover_trace_shows_backoff_and_failover_spans(two_replicas):
+    from m3d_fault_loc.obs.trace import Tracer
+
+    a, b = two_replicas
+    tracer = Tracer(tags={"process": "router"})
+    router = ReplicaRouter(
+        [("127.0.0.1", s.port) for s in two_replicas],
+        policy=fast_policy(),
+        tracer=tracer,
+    )
+    body = b'{"graph": "failover-trace"}'
+    owner_key = router.dispatch("POST", "/localize", body, {}).replica
+    owner = a if owner_key == a.key else b
+    owner.fail_next(1)
+    response = router.dispatch("POST", "/localize", body, {})
+    assert response.status == 200 and response.attempts == 2
+    trace = tracer.recent(1)[0]
+    by_stage = {}
+    for span in trace["spans"]:
+        by_stage.setdefault(span["stage"], []).append(span)
+    outcomes = [s["meta"]["outcome"] for s in by_stage["upstream_attempt"]]
+    assert outcomes == [503, 200]
+    assert by_stage["retry_backoff"][0]["meta"]["attempt"] == 2
+    [failover] = by_stage["failover"]
+    assert failover["meta"]["owner"] == owner_key
+    assert failover["meta"]["served_by"] == response.replica
+    router.close()
+
+
+def test_router_forwards_its_trace_id_downstream(two_replicas):
+    from m3d_fault_loc.obs.trace import Tracer
+
+    a, b = two_replicas
+    router = ReplicaRouter(
+        [("127.0.0.1", s.port) for s in two_replicas],
+        policy=fast_policy(),
+        tracer=Tracer(),
+    )
+    response = router.dispatch("POST", "/localize", b'{"graph": "fwd-id"}', {})
+    served = a if response.replica == a.key else b
+    forwarded = served.trace_ids_seen()
+    assert forwarded, "the replica must receive the router's X-M3D-Trace-Id"
+    assert not forwarded[-1].startswith("probe-")
+    router.close()
+
+
+def test_probe_requests_carry_probe_trace_ids(two_replicas):
+    a, _ = two_replicas
+    router = make_router(two_replicas, probe_interval_s=0.05)
+    router.start()
+    assert wait_until(lambda: a.trace_ids_seen(), timeout=3.0)
+    probe_ids = a.trace_ids_seen()
+    assert all(t.startswith("probe-") for t in probe_ids), probe_ids
+    # probe ids must survive the replica's trace-id sanitizer
+    from m3d_fault_loc.obs.context import sanitize_trace_id
+
+    assert sanitize_trace_id(probe_ids[0]) == probe_ids[0]
+    router.close()
+
+
+def test_router_fleet_endpoint_federates_member_metrics(http_router, two_replicas):
+    server, _ = http_router
+    a, b = two_replicas
+    counter = {"type": "counter", "help": "requests", "value": 0}
+    a.set_metrics({"m3d_requests_total": {**counter, "value": 7}})
+    b.set_metrics({"m3d_requests_total": {**counter, "value": 5}})
+    status, _, body = http_get(server.port, "/router/fleet")
+    assert status == 200
+    snap = json.loads(body)
+    assert snap["status"] == "ok"
+    assert snap["members"] == 2 and snap["reachable"] == 2
+    # federation invariant: the merged counter equals the per-replica sum
+    assert snap["merged"]["m3d_requests_total"]["value"] == 12
+    by_addr = {
+        r["replica"]: r["metrics"]["m3d_requests_total"]["value"]
+        for r in snap["replicas"]
+    }
+    assert by_addr == {a.key: 7, b.key: 5}
+    # the router contributes its own registry without an HTTP hop
+    assert "m3d_route_requests_total" in snap["router"]
+    assert "availability" in snap["slo"]
+
+
+def test_failover_waterfall_stitches_across_processes(tmp_path):
+    """Integration: real replicas + router, owner killed, logs stitched."""
+    import numpy as np
+
+    from m3d_fault_loc.data.synthetic import synthesize_fault_dataset
+    from m3d_fault_loc.model.localizer import DelayFaultLocalizer
+    from m3d_fault_loc.obs.stitch import stitch_files
+    from m3d_fault_loc.obs.trace import JsonlTraceExporter, Tracer
+    from m3d_fault_loc.serve.server import create_server
+    from m3d_fault_loc.serve.service import LocalizationService
+
+    logs, servers, services, threads = [], [], [], []
+    for i in range(2):
+        log = tmp_path / f"replica_{i}.jsonl"
+        tracer = Tracer(exporter=JsonlTraceExporter(log))
+        service = LocalizationService(
+            model=DelayFaultLocalizer(hidden=8, seed=4),
+            batch_window_s=0.001,
+            tracer=tracer,
+        )
+        server = create_server(service, host="127.0.0.1", port=0)
+        tracer.tags.update(
+            {"process": "replica", "addr": f"127.0.0.1:{server.port}"}
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        logs.append(log)
+        servers.append(server)
+        services.append(service)
+        threads.append(thread)
+
+    router_log = tmp_path / "router.jsonl"
+    router = ReplicaRouter(
+        [("127.0.0.1", s.port) for s in servers],
+        policy=fast_policy(),
+        tracer=Tracer(
+            exporter=JsonlTraceExporter(router_log), tags={"process": "router"}
+        ),
+    )
+    try:
+        rng = np.random.default_rng(11)
+        graph = synthesize_fault_dataset(rng, n_graphs=1, n_gates=10, n_inputs=3)[0]
+        body = json.dumps({"graph": graph.to_json_dict(), "top_k": 2}).encode()
+
+        first = router.dispatch("POST", "/localize", body, {})
+        assert first.status == 200
+        owner_key = first.replica
+        owner_idx = next(
+            i for i, s in enumerate(servers) if f"127.0.0.1:{s.port}" == owner_key
+        )
+        # Kill the owner: connects now refuse, its log stops growing.
+        servers[owner_idx].shutdown()
+        servers[owner_idx].server_close()
+        services[owner_idx].close()
+
+        failover = router.dispatch("POST", "/localize", body, {})
+        assert failover.status == 200
+        assert failover.attempts == 2
+        assert failover.replica != owner_key
+
+        def stitched_failover():
+            for s in stitch_files([router_log, *logs]):
+                if len(s["attempts"]) == 2:
+                    return s
+            return None
+
+        assert wait_until(lambda: stitched_failover() is not None, timeout=5.0)
+        target = stitched_failover()
+        assert target["processes"] == ["replica", "router"]
+        assert [a["replica"] for a in target["attempts"]] == [
+            owner_key, failover.replica,
+        ]
+        # the dead owner's side of attempt 1 is reported, not silently lost
+        [gone] = target["missing_attempts"]
+        assert gone["replica"] == owner_key
+        assert gone["outcome"] == "connect"
+        [served] = [h for h in target["hops"] if h["process"] == "replica"]
+        assert served["addr"] == failover.replica
+        assert served["attempt"] == 2
+        # the first request stitched cleanly too: owner-side hop present
+        full = next(
+            s for s in stitch_files([router_log, *logs]) if len(s["attempts"]) == 1
+        )
+        assert any(
+            h["process"] == "replica" and h["addr"] == owner_key
+            for h in full["hops"]
+        )
+    finally:
+        router.close()
+        for idx, server in enumerate(servers):
+            if idx != owner_idx:
+                server.shutdown()
+                server.server_close()
+                services[idx].close()
+        for thread in threads:
+            thread.join(timeout=5.0)

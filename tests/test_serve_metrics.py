@@ -128,6 +128,83 @@ def test_exposition_passes_check_prom_including_empty_histograms():
     assert check_exposition(m.render_prometheus()) == []
 
 
+# -- merge / snapshot round-trip (metrics federation) ----------------------
+
+
+def test_histogram_merge_sums_buckets_and_totals():
+    a = Histogram("m3d_lat", "", buckets=(0.1, 1.0, 5.0))
+    b = Histogram("m3d_lat", "", buckets=(0.1, 1.0, 5.0))
+    for v in (0.05, 0.5, 0.5):
+        a.observe(v)
+    for v in (0.5, 3.0, 10.0):
+        b.observe(v)
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["count"] == 6
+    assert snap["sum"] == pytest.approx(14.55)
+    assert snap["buckets"] == {"0.1": 1, "1": 4, "5": 5, "+Inf": 6}
+    # the source is left untouched
+    assert b.snapshot()["count"] == 3
+
+
+def test_histogram_merge_rejects_mismatched_bounds():
+    a = Histogram("m3d_lat", "", buckets=(0.1, 1.0))
+    b = Histogram("m3d_lat", "", buckets=(0.1, 2.0))
+    with pytest.raises(ValueError, match="bucket bounds differ"):
+        a.merge(b)
+    # nothing was folded in before the raise
+    assert a.snapshot()["count"] == 0
+
+
+def test_histogram_from_snapshot_round_trips_including_overflow():
+    h = Histogram("m3d_lat", "", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.5, 9.0):  # 9.0 lives only in +Inf / count
+        h.observe(v)
+    rebuilt = Histogram.from_snapshot("m3d_lat", h.snapshot())
+    assert rebuilt.buckets == h.buckets
+    assert rebuilt.snapshot() == h.snapshot()
+    assert rebuilt.percentile(50.0) == pytest.approx(h.percentile(50.0))
+
+
+def test_histogram_from_snapshot_rejects_bad_inputs():
+    with pytest.raises(ValueError, match="no finite buckets"):
+        Histogram.from_snapshot("m3d_x", {"buckets": {"+Inf": 3}, "count": 3})
+    with pytest.raises(ValueError, match="not cumulative"):
+        Histogram.from_snapshot(
+            "m3d_x",
+            {"buckets": {"0.1": 5, "1": 2, "+Inf": 5}, "sum": 1.0, "count": 5},
+        )
+
+
+def test_merged_percentiles_with_leading_zero_count_buckets():
+    # Regression: snapshots carry cumulative counts; treating them as
+    # per-bucket counts made leading zero-count buckets look occupied after
+    # a merge, dragging percentiles toward zero. Differencing in
+    # from_snapshot keeps the merged estimate identical to a histogram that
+    # observed every sample directly.
+    bounds = (0.001, 0.01, 0.1, 1.0)
+    samples_a = [0.5, 0.5, 0.7]
+    samples_b = [0.6, 0.9]
+    direct = Histogram("m3d_lat", "", buckets=bounds)
+    for v in samples_a + samples_b:
+        direct.observe(v)
+
+    a = Histogram("m3d_lat", "", buckets=bounds)
+    b = Histogram("m3d_lat", "", buckets=bounds)
+    for v in samples_a:
+        a.observe(v)
+    for v in samples_b:
+        b.observe(v)
+    merged = Histogram.from_snapshot("m3d_lat", a.snapshot())
+    merged.merge(Histogram.from_snapshot("m3d_lat", b.snapshot()))
+
+    for q in (50.0, 90.0, 99.0):
+        assert merged.percentile(q) == pytest.approx(direct.percentile(q))
+    # every sample sits in the (0.1, 1.0] bucket; the three leading
+    # zero-count buckets must not pull the estimate below it
+    assert merged.percentile(50.0) > 0.1
+
+
 def test_check_prom_catches_broken_expositions():
     assert any(
         "no preceding # TYPE" in p

@@ -105,3 +105,58 @@ def test_metrics_log_captures_epochs_final_and_eval(tmp_path, capsys):
     assert summary["epochs"] == 3
     assert summary["final"]["test_accuracy"] == final["test_accuracy"]
     assert summary["evals"][0]["k"] == 3
+
+
+def test_profile_flag_emits_per_phase_rows(tmp_path, capsys):
+    from m3d_fault_loc.obs.profile import TRAIN_PHASES
+    from m3d_fault_loc.obs.telemetry import read_jsonl
+
+    metrics_path = tmp_path / "train.jsonl"
+    rc = train_cli.main(
+        [
+            "--seed", "0",
+            "--n-graphs", "16",
+            "--n-gates", "12",
+            "--epochs", "2",
+            "--hidden", "8",
+            "--out", str(tmp_path / "model.npz"),
+            "--metrics-log", str(metrics_path),
+            "--profile",
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    profiles = [r for r in read_jsonl(metrics_path) if r["event"] == "profile"]
+    assert profiles, "--profile must land profile rows on the metrics log"
+    assert {p["epoch"] for p in profiles} == {0, 1}
+    phases = {p["phase"] for p in profiles}
+    # eval only fires on the periodic-log epochs; the hot phases always do
+    assert {"data_gen", "forward", "backward", "optimizer_step"} <= phases
+    assert phases <= set(TRAIN_PHASES)
+    for p in profiles:
+        assert p["wall_s"] >= 0.0 and p["calls"] >= 1
+        assert "peak_kb" not in p  # memory tracking is a separate flag
+
+
+def test_profile_memory_flag_adds_allocation_peaks(tmp_path, capsys):
+    from m3d_fault_loc.obs.telemetry import read_jsonl
+
+    metrics_path = tmp_path / "train.jsonl"
+    rc = train_cli.main(
+        [
+            "--seed", "0",
+            "--n-graphs", "12",
+            "--n-gates", "10",
+            "--epochs", "1",
+            "--hidden", "8",
+            "--out", str(tmp_path / "model.npz"),
+            "--metrics-log", str(metrics_path),
+            "--profile-memory",
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    profiles = [r for r in read_jsonl(metrics_path) if r["event"] == "profile"]
+    assert profiles
+    # outermost phases carry allocation high-water marks
+    assert any(p.get("peak_kb", 0) > 0 for p in profiles)
